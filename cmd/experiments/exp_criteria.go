@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+
+	"parsurf"
+	"parsurf/internal/dmc"
+	"parsurf/internal/lattice"
+	"parsurf/internal/model"
+	"parsurf/internal/rng"
+	"parsurf/internal/stats"
+	"parsurf/internal/trace"
+)
+
+// runCriteria checks the two Segers correctness criteria of §6 for each
+// exact DMC engine: exponential waiting times (Kolmogorov–Smirnov test)
+// and rate-ratio type selection (chi-square test).
+func runCriteria(opt options) error {
+	reps := 20000
+	if opt.quick {
+		reps = 4000
+	}
+
+	// Criterion 1: on a single-site system with one reaction of rate k,
+	// the time to the reaction is Exp(k).
+	lat := lattice.New(1, 1)
+	m1 := &model.Model{
+		Species: []string{"*", "A"},
+		Types: []model.ReactionType{{
+			Name: "ads", Rate: 2.5,
+			Triples: []model.Triple{{Off: lattice.Vec{}, Src: 0, Tgt: 1}},
+		}},
+	}
+	cm1, err := model.Compile(m1, lat)
+	if err != nil {
+		return err
+	}
+	src := rng.New(opt.seed)
+	waits := make([]float64, reps)
+	for i := range waits {
+		cfg := lattice.NewConfig(lat)
+		r := dmc.NewRSM(cm1, cfg, src)
+		for !r.Trial() {
+		}
+		waits[i] = r.Time()
+	}
+	d, p := stats.KSExponential(waits, 2.5)
+	fmt.Printf("criterion 1 (waiting time ~ Exp(k)): RSM, %d replicates\n", reps)
+	fmt.Printf("  KS statistic %.4f, p-value %.3f  =>  %s\n", d, p, verdict(p > 0.01))
+
+	// Criterion 2: with competing reactions of rates 1 and 3, the next
+	// type follows k_i/K for every engine.
+	m2 := &model.Model{
+		Species: []string{"*", "A", "B"},
+		Types: []model.ReactionType{
+			{Name: "adsA", Rate: 1, Triples: []model.Triple{{Off: lattice.Vec{}, Src: 0, Tgt: 1}}},
+			{Name: "adsB", Rate: 3, Triples: []model.Triple{{Off: lattice.Vec{}, Src: 0, Tgt: 2}}},
+		},
+	}
+	cm2, err := model.Compile(m2, lat)
+	if err != nil {
+		return err
+	}
+	engines := []struct {
+		name string
+		mk   func(*lattice.Config, *rng.Source) parsurf.Simulator
+	}{
+		{"RSM", func(c *lattice.Config, s *rng.Source) parsurf.Simulator { return dmc.NewRSM(cm2, c, s) }},
+		{"VSSM", func(c *lattice.Config, s *rng.Source) parsurf.Simulator { return dmc.NewVSSM(cm2, c, s) }},
+		{"FRM", func(c *lattice.Config, s *rng.Source) parsurf.Simulator { return dmc.NewFRM(cm2, c, s) }},
+	}
+	fmt.Printf("criterion 2 (type ratio k_i/K = 0.25/0.75): %d replicates per engine\n", reps)
+	rows := make([][]string, 0, len(engines))
+	for _, eng := range engines {
+		src := rng.New(opt.seed + 7)
+		counts := []int{0, 0}
+		for i := 0; i < reps; i++ {
+			cfg := lattice.NewConfig(lat)
+			sim := eng.mk(cfg, src)
+			for cfg.Get(0) == 0 {
+				if !sim.Step() {
+					break
+				}
+			}
+			counts[int(cfg.Get(0))-1]++
+		}
+		chi2, dof, err := stats.ChiSquare(counts, []float64{0.25, 0.75})
+		if err != nil {
+			return err
+		}
+		// chi-square critical value at 1 dof, alpha 0.01: 6.63.
+		rows = append(rows, []string{
+			eng.name,
+			fmt.Sprintf("%.4f", float64(counts[0])/float64(reps)),
+			fmt.Sprintf("%.4f", float64(counts[1])/float64(reps)),
+			fmt.Sprintf("%.2f (dof %d)", chi2, dof),
+			verdict(chi2 < 6.63),
+		})
+	}
+	fmt.Print(trace.Table([]string{"engine", "P(A)", "P(B)", "chi2", "verdict"}, rows))
+	return nil
+}
+
+func verdict(pass bool) string {
+	if pass {
+		return "PASS"
+	}
+	return "FAIL"
+}

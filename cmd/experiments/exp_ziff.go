@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+
+	"parsurf/internal/trace"
+	"parsurf/internal/ziff"
+)
+
+// runZiff sweeps the classic ZGB phase diagram and reports the kinetic
+// phase transitions (§1's "experimental data for the simulation of Ziff
+// model"; literature: y1 ≈ 0.39, y2 ≈ 0.525).
+func runZiff(opt options) error {
+	l, equil, measure := 64, 400, 150
+	step := 0.01
+	if opt.quick {
+		l, equil, measure = 32, 200, 60
+		step = 0.02
+	}
+	var ys []float64
+	for y := 0.32; y <= 0.60+1e-9; y += step {
+		ys = append(ys, y)
+	}
+	points := ziff.Sweep(l, ys, equil, measure, opt.seed)
+
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		state := "reactive"
+		if p.Poisoned {
+			if p.CoCO > p.CoO {
+				state = "CO-poisoned"
+			} else {
+				state = "O-poisoned"
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.3f", p.Y),
+			fmt.Sprintf("%.3f", p.CoCO),
+			fmt.Sprintf("%.3f", p.CoO),
+			fmt.Sprintf("%.4f", p.Rate),
+			state,
+		})
+	}
+	fmt.Print(trace.Table([]string{"y_CO", "θ_CO", "θ_O", "R_CO2", "state"}, rows))
+	if y1, y2, ok := ziff.Transitions(points); ok {
+		fmt.Printf("estimated transitions: y1 = %.3f (lit. 0.39), y2 = %.3f (lit. 0.525)\n", y1, y2)
+	} else {
+		fmt.Println("transitions not bracketed")
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+// Command surfsim is a general-purpose surface-reaction simulator: pick
+// a model, an algorithm, a lattice size and a time span; it prints the
+// coverage time series as CSV (stdout) and an optional terminal plot.
+//
+// Examples:
+//
+//	surfsim -model zgb -method rsm -size 100 -t 50
+//	surfsim -model ptco -method vssm -size 100 -t 200 -plot
+//	surfsim -model ptco -method lpndca -L 100 -strategy random -size 100 -t 200
+//	surfsim -model zgb -method ddrsm -workers 4 -size 80 -t 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parsurf"
+	"parsurf/internal/modelfile"
+	"parsurf/internal/stats"
+	"parsurf/internal/trace"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "zgb", "model: zgb | ptco | diffusion | ising")
+		modelFile = flag.String("modelfile", "", "read the model from a definition file instead (see internal/modelfile)")
+		method    = flag.String("method", "rsm", "algorithm: rsm | vssm | frm | ndca | pndca | lpndca | typepart | ddrsm")
+		size      = flag.Int("size", 100, "lattice side (multiples of 10 keep every partition valid)")
+		tEnd      = flag.Float64("t", 50, "simulated end time")
+		dt        = flag.Float64("dt", 0.25, "sample interval")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		l         = flag.Int("L", 1, "L-PNDCA: trials per chunk selection")
+		strategy  = flag.String("strategy", "random", "L-PNDCA chunk selection: order | randomorder | random | rates")
+		workers   = flag.Int("workers", 1, "PNDCA sweep goroutines / DDRSM strips")
+		plot      = flag.Bool("plot", false, "print an ASCII plot to stderr")
+		svgPath   = flag.String("svg", "", "also write an SVG chart of the coverages to this path")
+	)
+	flag.Parse()
+
+	if err := run(*modelName, *modelFile, *method, *size, *tEnd, *dt, *seed, *l, *strategy, *workers, *plot, *svgPath); err != nil {
+		fmt.Fprintln(os.Stderr, "surfsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName, modelFile, method string, size int, tEnd, dt float64, seed uint64, l int, strategy string, workers int, plot bool, svgPath string) error {
+	var m *parsurf.Model
+	switch {
+	case modelFile != "":
+		f, err := os.Open(modelFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		m, err = modelfile.Parse(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", modelFile, err)
+		}
+	case modelName == "zgb":
+		m = parsurf.NewZGBModel(parsurf.DefaultZGBRates())
+	case modelName == "ptco":
+		m = parsurf.NewPtCOModel(parsurf.DefaultPtCORates())
+	case modelName == "diffusion":
+		m = parsurf.NewDiffusionModel(1)
+	case modelName == "ising":
+		m = parsurf.NewIsingModel(0.4)
+	default:
+		return fmt.Errorf("unknown model %q", modelName)
+	}
+
+	lat := parsurf.NewSquareLattice(size)
+	cm, err := parsurf.Compile(m, lat)
+	if err != nil {
+		return err
+	}
+	cfg := parsurf.NewConfig(lat)
+	if modelName == "diffusion" || modelName == "ising" {
+		cfg.Randomize([]float64{0.5, 0.5}, parsurf.NewRNG(seed^0xabcd).Float64)
+	}
+	src := parsurf.NewRNG(seed)
+
+	var sim parsurf.Simulator
+	switch method {
+	case "rsm":
+		sim = parsurf.NewRSM(cm, cfg, src)
+	case "vssm":
+		sim = parsurf.NewVSSM(cm, cfg, src)
+	case "frm":
+		sim = parsurf.NewFRM(cm, cfg, src)
+	case "ndca":
+		sim = parsurf.NewNDCA(cm, cfg, src)
+	case "pndca":
+		part, err := parsurf.VonNeumann5(lat)
+		if err != nil {
+			return err
+		}
+		p := parsurf.NewPNDCA(cm, cfg, src, part)
+		p.Workers = workers
+		sim = p
+	case "lpndca":
+		part, err := parsurf.VonNeumann5(lat)
+		if err != nil {
+			return err
+		}
+		e := parsurf.NewLPNDCA(cm, cfg, src, part, l)
+		switch strategy {
+		case "order":
+			e.Strategy = parsurf.AllInOrder
+		case "randomorder":
+			e.Strategy = parsurf.AllRandomOrder
+		case "random":
+			e.Strategy = parsurf.RandomReplacement
+		case "rates":
+			e.Strategy = parsurf.RateWeighted
+		default:
+			return fmt.Errorf("unknown strategy %q", strategy)
+		}
+		sim = e
+	case "typepart":
+		ts, err := parsurf.SplitByDirection(m, lat)
+		if err != nil {
+			return err
+		}
+		sim = parsurf.NewTypePartitioned(cm, cfg, src, ts)
+	case "ddrsm":
+		d, err := parsurf.NewDDRSM(cm, cfg, src, workers)
+		if err != nil {
+			return err
+		}
+		sim = d
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+
+	numSpecies := m.NumSpecies()
+	series := make([]*stats.Series, numSpecies)
+	for i := range series {
+		series[i] = &stats.Series{}
+	}
+	parsurf.Sample(sim, dt, tEnd, func(t float64) {
+		counts := cfg.CountAll(numSpecies)
+		n := float64(lat.N())
+		for sp := range series {
+			series[sp].Append(t, float64(counts[sp])/n)
+		}
+	})
+
+	names := append([]string{"t"}, m.Species...)
+	if err := trace.WriteCSV(os.Stdout, names, series...); err != nil {
+		return err
+	}
+	if plot {
+		fmt.Fprintf(os.Stderr, "coverages (%v):\n%s", m.Species,
+			trace.ASCIIPlot(14, 72, "ox.+*#", series...))
+	}
+	if svgPath != "" {
+		f, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opt := trace.SVGOptions{
+			Title:  fmt.Sprintf("%s / %s, %dx%d", modelTitle(modelName, modelFile), method, size, size),
+			Labels: m.Species,
+		}
+		if err := trace.WriteSVG(f, opt, series...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func modelTitle(name, file string) string {
+	if file != "" {
+		return file
+	}
+	return name
+}

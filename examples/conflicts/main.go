@@ -1,0 +1,66 @@
+// Conflicts: the Fig. 2 problem made measurable. Dense particles
+// diffusing under a fully synchronous CA update collide — two particles
+// propose hops into the same vacancy — and the conflict rate grows with
+// density. Partitioned updates (PNDCA) avoid the problem by
+// construction: this example counts conflicts across densities and
+// verifies particle conservation, then shows the cluster structure of
+// the final state.
+//
+//	go run ./examples/conflicts
+package main
+
+import (
+	"fmt"
+
+	"parsurf"
+	"parsurf/internal/cluster"
+	"parsurf/internal/trace"
+)
+
+func main() {
+	lat := parsurf.NewSquareLattice(64)
+	m := parsurf.NewDiffusionModel(1)
+	cm := parsurf.MustCompile(m, lat)
+
+	fmt.Println("synchronous NDCA on diffusing particles (Fig. 2 scenario):")
+	rows := [][]string{}
+	for _, density := range []float64{0.1, 0.3, 0.5, 0.7} {
+		cfg := parsurf.NewConfig(lat)
+		cfg.Randomize([]float64{1 - density, density}, parsurf.NewRNG(7).Float64)
+		before := cfg.Count(1)
+		sim := parsurf.NewSyncNDCA(cm, cfg, parsurf.NewRNG(8))
+		for i := 0; i < 100; i++ {
+			sim.Step()
+		}
+		conflictRate := float64(sim.Conflicts()) / float64(sim.Proposed())
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", density),
+			fmt.Sprintf("%d", sim.Proposed()),
+			fmt.Sprintf("%d", sim.Conflicts()),
+			fmt.Sprintf("%.1f%%", conflictRate*100),
+			fmt.Sprintf("%v", cfg.Count(1) == before),
+		})
+	}
+	fmt.Print(trace.Table(
+		[]string{"density", "proposals", "conflicts", "conflict rate", "conserved"}, rows))
+
+	// The same workload under PNDCA: zero conflicts by construction.
+	part, err := parsurf.ModularColoring(m, lat, 16)
+	if err != nil {
+		panic(err)
+	}
+	cfg := parsurf.NewConfig(lat)
+	cfg.Randomize([]float64{0.5, 0.5}, parsurf.NewRNG(7).Float64)
+	before := cfg.Count(1)
+	p := parsurf.NewPNDCA(cm, cfg, parsurf.NewRNG(8), part)
+	p.Workers = 4
+	for i := 0; i < 100; i++ {
+		p.Step()
+	}
+	fmt.Printf("\nPNDCA over %d chunks, 4 workers: %d reactions, conserved: %v, conflicts: none possible\n",
+		part.NumChunks(), p.Successes(), cfg.Count(1) == before)
+
+	st := cluster.Summarize(cluster.SpeciesComponents(cfg, 1))
+	fmt.Printf("final particle clusters: %d clusters, largest %d, mean size %.1f\n",
+		st.Clusters, st.Largest, st.MeanSize)
+}

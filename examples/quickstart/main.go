@@ -1,0 +1,40 @@
+// Quickstart: simulate CO oxidation on a 100×100 lattice with the
+// Random Selection Method and print the coverage evolution.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"parsurf"
+	"parsurf/internal/stats"
+	"parsurf/internal/trace"
+)
+
+func main() {
+	// The surface: a periodic 100×100 lattice, initially vacant.
+	lat := parsurf.NewSquareLattice(100)
+	cfg := parsurf.NewConfig(lat)
+
+	// The model: Table I of the paper — CO adsorption, dissociative O2
+	// adsorption, CO+O → CO2.
+	m := parsurf.NewZGBModel(parsurf.DefaultZGBRates())
+	cm := parsurf.MustCompile(m, lat)
+
+	// The engine: RSM, the paper's reference Dynamic Monte Carlo
+	// algorithm. Everything is seeded and reproducible.
+	sim := parsurf.NewRSM(cm, cfg, parsurf.NewRNG(2003))
+
+	co := &stats.Series{}
+	o := &stats.Series{}
+	parsurf.Sample(sim, 0.2, 40, func(t float64) {
+		co.Append(t, cfg.Coverage(1))
+		o.Append(t, cfg.Coverage(2))
+	})
+
+	fmt.Println("CO (o) and O (x) coverage vs time, ZGB model, RSM:")
+	fmt.Print(trace.ASCIIPlot(16, 72, "ox", co, o))
+	fmt.Printf("final: CO %.3f, O %.3f, vacant %.3f after %.1f time units (%d trials)\n",
+		cfg.Coverage(1), cfg.Coverage(2), cfg.Coverage(0), sim.Time(), sim.Trials())
+}

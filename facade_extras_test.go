@@ -1,0 +1,121 @@
+package parsurf_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parsurf"
+)
+
+func TestFacadeObserversAndCheckpoint(t *testing.T) {
+	lat := parsurf.NewSquareLattice(16)
+	m := parsurf.NewZGBModel(parsurf.DefaultZGBRates())
+	cm := parsurf.MustCompile(m, lat)
+	cfg := parsurf.NewConfig(lat)
+	src := parsurf.NewRNG(1)
+	rsm := parsurf.NewRSM(cm, cfg, src)
+
+	cov := parsurf.NewCoverageObserver(0, 1, 2)
+	snap := parsurf.NewSnapshotObserver(1)
+	n := parsurf.NewRunner(rsm, 0.5).Attach(cov, snap).Run(5)
+	if n == 0 || cov.Series[0].Len() != n || len(snap.Snapshots) != n {
+		t.Fatal("observers missed samples")
+	}
+
+	var buf bytes.Buffer
+	if err := parsurf.SaveCheckpoint(&buf, cfg, src, rsm.Time()); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := parsurf.LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp.Config.Equal(cfg) || cp.Time != rsm.Time() {
+		t.Fatal("checkpoint round trip lost state")
+	}
+	// Resume on the restored state.
+	resumed := parsurf.NewRSM(cm, cp.Config, cp.RNG)
+	resumed.Step()
+}
+
+func TestFacadeModelFile(t *testing.T) {
+	text := "species * A\nreaction ads 1 (0,0): * -> A\n"
+	m, err := parsurf.ParseModel(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := parsurf.FormatModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := parsurf.ParseModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Types) != 1 || back.Species[1] != "A" {
+		t.Fatal("model file round trip failed")
+	}
+}
+
+func TestFacadeClustersAndOscillation(t *testing.T) {
+	lat := parsurf.NewSquareLattice(10)
+	cfg := parsurf.NewConfig(lat)
+	cfg.SetXY(1, 1, 1)
+	cfg.SetXY(1, 2, 1)
+	cfg.SetXY(5, 5, 1)
+	st := parsurf.Clusters(cfg, 1)
+	if st.Clusters != 2 || st.Largest != 2 {
+		t.Fatalf("cluster stats %+v", st)
+	}
+
+	s := &parsurf.Series{}
+	for i := 0; i <= 1000; i++ {
+		tt := float64(i) * 0.1
+		s.Append(tt, osc(tt))
+	}
+	if _, ok := parsurf.DetectOscillation(s, 512, 0.2); !ok {
+		t.Fatal("oscillation missed")
+	}
+}
+
+func TestFacadeZiffDesorptionAndSVG(t *testing.T) {
+	z := parsurf.NewZiffWithDesorption(parsurf.NewSquareLattice(12), parsurf.NewRNG(2), 0.6, 0.05)
+	for i := 0; i < 50; i++ {
+		z.Step()
+	}
+	if z.Config().Count(0) == 0 && z.Config().Count(2) == 0 {
+		t.Fatal("desorbing ZGB froze")
+	}
+
+	s := &parsurf.Series{}
+	s.Append(0, 0)
+	s.Append(1, 1)
+	var buf bytes.Buffer
+	if err := parsurf.WriteSVG(&buf, "demo", []string{"x"}, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("no SVG output")
+	}
+}
+
+func TestFacadeArrhenius(t *testing.T) {
+	if k := parsurf.Arrhenius(2, 0, 300); k != 2 {
+		t.Fatalf("zero activation energy: %v", k)
+	}
+}
+
+func TestFacadeSteadyState(t *testing.T) {
+	ss := parsurf.NewSteadyState(3, 0.01)
+	for i := 0; i < 5; i++ {
+		ss.Add(float64(i))
+	}
+	steady := false
+	for i := 0; i < 8; i++ {
+		steady = ss.Add(5) || steady
+	}
+	if !steady {
+		t.Fatal("plateau missed")
+	}
+}

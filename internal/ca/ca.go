@@ -1,0 +1,153 @@
+// Package ca implements the Cellular Automaton simulation methods of §4
+// of the paper: the deterministic synchronous CA, the Non-Deterministic
+// CA (NDCA) whose per-site reaction choice is weighted by the rate
+// constants, a fully synchronous NDCA that exposes the conflict problem
+// of Fig. 2, and the Block Cellular Automaton (BCA) of §5 with shifting
+// block boundaries (Fig. 3).
+//
+// The partitioned algorithms derived from these (PNDCA, L-PNDCA and the
+// type-partitioned variant — the paper's contribution) live in
+// internal/core.
+package ca
+
+import (
+	"parsurf/internal/lattice"
+	"parsurf/internal/model"
+	"parsurf/internal/rng"
+)
+
+// Rule is a deterministic CA transition: given the read-only previous
+// configuration and a site, it returns the site's next state.
+type Rule func(prev *lattice.Config, s int) lattice.Species
+
+// DCA is a deterministic synchronous cellular automaton: every step all
+// sites are rewritten simultaneously from the previous state.
+type DCA struct {
+	cfg  *lattice.Config
+	next *lattice.Config
+	rule Rule
+	step int
+}
+
+// NewDCA returns a deterministic CA applying rule to cfg in place.
+func NewDCA(cfg *lattice.Config, rule Rule) *DCA {
+	return &DCA{cfg: cfg, next: cfg.Clone(), rule: rule}
+}
+
+// Step applies one synchronous update. It always reports true.
+func (d *DCA) Step() bool {
+	n := d.cfg.Lattice().N()
+	for s := 0; s < n; s++ {
+		d.next.Set(s, d.rule(d.cfg, s))
+	}
+	d.cfg.CopyFrom(d.next)
+	d.step++
+	return true
+}
+
+// Time returns the number of synchronous steps taken.
+func (d *DCA) Time() float64 { return float64(d.step) }
+
+// Config returns the live configuration.
+func (d *DCA) Config() *lattice.Config { return d.cfg }
+
+// ZeroRule1D is the rule of the paper's Fig. 3 example on a 1-D lattice
+// (height 1): a site's state becomes 0 if at least one of its two
+// neighbours is 0, otherwise it keeps its state.
+func ZeroRule1D(prev *lattice.Config, s int) lattice.Species {
+	lat := prev.Lattice()
+	if prev.Get(lat.Translate(s, lattice.Vec{DX: 1})) == 0 ||
+		prev.Get(lat.Translate(s, lattice.Vec{DX: -1})) == 0 {
+		return 0
+	}
+	return prev.Get(s)
+}
+
+// MajorityRule2D flips each site to the majority species (0/1) of its
+// von Neumann neighbourhood, including itself; ties keep the state.
+func MajorityRule2D(prev *lattice.Config, s int) lattice.Species {
+	lat := prev.Lattice()
+	ones := 0
+	for _, o := range lattice.VonNeumann() {
+		if prev.Get(lat.Translate(s, o)) == 1 {
+			ones++
+		}
+	}
+	switch {
+	case ones >= 3:
+		return 1
+	case ones <= 2:
+		return 0
+	}
+	return prev.Get(s)
+}
+
+// NDCA is the Non-Deterministic Cellular Automaton of §4, in its
+// site-sequential reading: each step visits every site once (in raster
+// order, or in a fresh random order when RandomOrder is set), selects a
+// reaction type with probability k_i/K, executes it if enabled, and
+// advances the time exactly like an RSM trial. The difference from RSM
+// is the site-selection mechanism — every site exactly once per step —
+// which the paper identifies as the source of NDCA's bias.
+type NDCA struct {
+	cm    *model.Compiled
+	cfg   *lattice.Config
+	cells []lattice.Species
+	src   *rng.Source
+	time  float64
+	order []int
+
+	// RandomOrder shuffles the sweep order every step.
+	RandomOrder bool
+	// DeterministicTime uses 1/(N·K) per trial instead of Exp(N·K).
+	DeterministicTime bool
+
+	trials    uint64
+	successes uint64
+}
+
+// NewNDCA returns an NDCA engine over the compiled model.
+func NewNDCA(cm *model.Compiled, cfg *lattice.Config, src *rng.Source) *NDCA {
+	if !cfg.Lattice().SameShape(cm.Lat) {
+		panic("ca: configuration lattice differs from compiled lattice")
+	}
+	order := make([]int, cm.Lat.N())
+	for i := range order {
+		order[i] = i
+	}
+	return &NDCA{cm: cm, cfg: cfg, cells: cfg.Cells(), src: src, order: order}
+}
+
+// Step performs one NDCA step: one trial at every site.
+func (a *NDCA) Step() bool {
+	n := a.cm.Lat.N()
+	nk := float64(n) * a.cm.K
+	if a.RandomOrder {
+		a.src.Shuffle(n, func(i, j int) { a.order[i], a.order[j] = a.order[j], a.order[i] })
+	}
+	for _, s := range a.order {
+		rt := a.cm.PickType(a.src.Float64())
+		if a.cm.TryExecute(a.cells, rt, s) {
+			a.successes++
+		}
+		a.trials++
+		if a.DeterministicTime {
+			a.time += 1 / nk
+		} else {
+			a.time += a.src.Exp(nk)
+		}
+	}
+	return true
+}
+
+// Time returns the simulated time.
+func (a *NDCA) Time() float64 { return a.time }
+
+// Config returns the live configuration.
+func (a *NDCA) Config() *lattice.Config { return a.cfg }
+
+// Trials returns the number of trials attempted.
+func (a *NDCA) Trials() uint64 { return a.trials }
+
+// Successes returns the number of executed reactions.
+func (a *NDCA) Successes() uint64 { return a.successes }

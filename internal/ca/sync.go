@@ -1,0 +1,171 @@
+package ca
+
+import (
+	"parsurf/internal/lattice"
+	"parsurf/internal/model"
+	"parsurf/internal/rng"
+)
+
+// ConflictPolicy selects how a synchronous NDCA resolves two proposed
+// reactions whose neighbourhoods overlap (the situation of Fig. 2).
+type ConflictPolicy int
+
+const (
+	// DropAll rejects every reaction involved in a conflict.
+	DropAll ConflictPolicy = iota
+	// RandomWinner keeps, per conflict cluster, the proposal that wins a
+	// site-order lottery drawn this step, dropping the overlapping rest.
+	RandomWinner
+)
+
+// SyncNDCA is the fully synchronous Non-Deterministic CA: every site
+// proposes a rate-weighted reaction based on the state at time t−1, all
+// proposals are checked against that same state, and conflicting
+// proposals are resolved by the configured policy before the survivors
+// are applied simultaneously.
+//
+// This engine exists to *measure* the conflict problem the paper solves
+// with partitions: it counts proposals, conflicts and executed
+// reactions, and its kinetics deviate from the Master Equation in
+// exactly the way §4 describes.
+type SyncNDCA struct {
+	cm    *model.Compiled
+	cfg   *lattice.Config
+	cells []lattice.Species
+	src   *rng.Source
+	time  float64
+
+	Policy ConflictPolicy
+	// DeterministicTime uses 1/K per step (N trials of mean 1/(N·K)).
+	DeterministicTime bool
+
+	// claim[s] is the proposal index+1 that currently holds site s.
+	claim     []int32
+	proposals []proposal
+	order     []int
+
+	steps     uint64
+	proposed  uint64
+	conflicts uint64
+	executed  uint64
+}
+
+type proposal struct {
+	site int
+	rt   int
+}
+
+// NewSyncNDCA returns a synchronous NDCA engine.
+func NewSyncNDCA(cm *model.Compiled, cfg *lattice.Config, src *rng.Source) *SyncNDCA {
+	if !cfg.Lattice().SameShape(cm.Lat) {
+		panic("ca: configuration lattice differs from compiled lattice")
+	}
+	n := cm.Lat.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return &SyncNDCA{
+		cm: cm, cfg: cfg, cells: cfg.Cells(), src: src,
+		Policy: RandomWinner,
+		claim:  make([]int32, n),
+		order:  order,
+	}
+}
+
+// Step performs one synchronous update: propose at all sites from the
+// frozen state, resolve conflicts, apply survivors simultaneously.
+func (a *SyncNDCA) Step() bool {
+	n := a.cm.Lat.N()
+	a.proposals = a.proposals[:0]
+	for i := range a.claim {
+		a.claim[i] = 0
+	}
+
+	// Phase 1: every site proposes a reaction enabled in the *current*
+	// (frozen) state.
+	for s := 0; s < n; s++ {
+		rt := a.cm.PickType(a.src.Float64())
+		if a.cm.Enabled(a.cells, rt, s) {
+			a.proposals = append(a.proposals, proposal{site: s, rt: rt})
+		}
+	}
+	a.proposed += uint64(len(a.proposals))
+
+	// Phase 2: conflict resolution. Proposals claim the full
+	// neighbourhood of their pattern; a proposal finding any of its
+	// sites already claimed is in conflict. Under RandomWinner the
+	// claim order is a random permutation (first claimant wins); under
+	// DropAll conflicting proposals additionally evict the earlier
+	// winner.
+	idx := a.order[:len(a.proposals)]
+	for i := range idx {
+		idx[i] = i
+	}
+	a.src.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+
+	var scratch []int
+	dropped := make(map[int32]bool)
+	winners := make([]int32, 0, len(a.proposals))
+	for _, pi := range idx {
+		p := a.proposals[pi]
+		scratch = a.cm.NbSites(scratch[:0], p.rt, p.site)
+		conflict := false
+		for _, site := range scratch {
+			if a.claim[site] != 0 {
+				conflict = true
+				if a.Policy == DropAll {
+					dropped[a.claim[site]-1] = true
+				}
+			}
+		}
+		if conflict {
+			a.conflicts++
+			continue
+		}
+		for _, site := range scratch {
+			a.claim[site] = int32(pi) + 1
+		}
+		winners = append(winners, int32(pi))
+	}
+
+	// Phase 3: apply the surviving proposals simultaneously. Winners
+	// have pairwise disjoint neighbourhoods, so application order is
+	// irrelevant — this is the property partitions guarantee up front.
+	for _, pi := range winners {
+		if a.Policy == DropAll && dropped[pi] {
+			a.conflicts++
+			continue
+		}
+		p := a.proposals[pi]
+		a.cm.Execute(a.cells, p.rt, p.site)
+		a.executed++
+	}
+
+	a.steps++
+	if a.DeterministicTime {
+		a.time += 1 / a.cm.K
+	} else {
+		a.time += a.src.Exp(a.cm.K)
+	}
+	return true
+}
+
+// Time returns the simulated time (one synchronous step corresponds to
+// one MC step of N trials).
+func (a *SyncNDCA) Time() float64 { return a.time }
+
+// Config returns the live configuration.
+func (a *SyncNDCA) Config() *lattice.Config { return a.cfg }
+
+// Steps returns the number of synchronous steps.
+func (a *SyncNDCA) Steps() uint64 { return a.steps }
+
+// Proposed returns the number of enabled proposals generated.
+func (a *SyncNDCA) Proposed() uint64 { return a.proposed }
+
+// Conflicts returns the number of proposals rejected by conflicts.
+func (a *SyncNDCA) Conflicts() uint64 { return a.conflicts }
+
+// Executed returns the number of reactions applied.
+func (a *SyncNDCA) Executed() uint64 { return a.executed }

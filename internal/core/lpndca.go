@@ -1,0 +1,217 @@
+package core
+
+import (
+	"parsurf/internal/lattice"
+	"parsurf/internal/model"
+	"parsurf/internal/partition"
+	"parsurf/internal/rng"
+)
+
+// Strategy selects how L-PNDCA chooses the next chunk (§5 of the paper,
+// "chunks can be selected in the following ways").
+type Strategy int
+
+const (
+	// AllInOrder: all chunks in a predefined order, cycling (way 1).
+	AllInOrder Strategy = iota
+	// AllRandomOrder: all chunks once per round in a fresh random
+	// permutation (way 2).
+	AllRandomOrder
+	// RandomReplacement: each selection draws a chunk independently
+	// with probability proportional to its size, so each *site* is
+	// reached with probability 1/N (way 3).
+	RandomReplacement
+	// RateWeighted: each selection draws a chunk with probability
+	// proportional to the summed rate of the reactions currently
+	// enabled in it (way 4).
+	RateWeighted
+)
+
+// LPNDCA is the generalised partitioned NDCA of §5: one step spends
+// exactly N trials; chunks are selected by the configured strategy and
+// each selection runs up to L trials at random sites (with replacement)
+// of the selected chunk.
+//
+// Limit behaviour (paper §5 and Fig. 8): with m=1 (single chunk) any L,
+// or m=N (singleton chunks) and L=1, the algorithm is *exactly* the
+// Random Selection Method, reproducing the same trajectory for the same
+// random stream.
+type LPNDCA struct {
+	cm    *model.Compiled
+	cfg   *lattice.Config
+	cells []lattice.Species
+	src   *rng.Source
+	part  *partition.Partition
+
+	// L is the number of trials per chunk selection (clamped to the
+	// remainder of the step).
+	L int
+	// Strategy is the chunk-selection rule.
+	Strategy Strategy
+	// DeterministicTime advances 1/(N·K) per trial.
+	DeterministicTime bool
+
+	// sizePrefix[i] is the number of sites in chunks 0..i-1; a uniform
+	// index in [0,N) maps bijectively to (chunk, position), giving
+	// size-proportional chunk selection and a uniform in-chunk site
+	// from a single draw.
+	sizePrefix []int
+	perm       []int
+	cursor     int // AllInOrder position
+	tracker    *rateTracker
+
+	time      float64
+	trials    uint64
+	successes uint64
+}
+
+// NewLPNDCA builds the engine with the given trials-per-selection L
+// (values below 1 are treated as 1).
+func NewLPNDCA(cm *model.Compiled, cfg *lattice.Config, src *rng.Source, part *partition.Partition, l int) *LPNDCA {
+	if !cfg.Lattice().SameShape(cm.Lat) {
+		panic("core: configuration lattice differs from compiled lattice")
+	}
+	if !part.Lat.SameShape(cm.Lat) {
+		panic("core: partition lattice differs from compiled lattice")
+	}
+	if l < 1 {
+		l = 1
+	}
+	e := &LPNDCA{
+		cm: cm, cfg: cfg, cells: cfg.Cells(), src: src, part: part,
+		L:        l,
+		Strategy: RandomReplacement,
+	}
+	e.sizePrefix = make([]int, part.NumChunks()+1)
+	for i, chunk := range part.Chunks {
+		e.sizePrefix[i+1] = e.sizePrefix[i] + len(chunk)
+	}
+	e.perm = make([]int, part.NumChunks())
+	for i := range e.perm {
+		e.perm[i] = i
+	}
+	return e
+}
+
+// chunkOfIndex maps a uniform site ordinal in [0,N) to its chunk via
+// binary search over the size prefix sums.
+func (e *LPNDCA) chunkOfIndex(idx int) int {
+	lo, hi := 0, len(e.sizePrefix)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if e.sizePrefix[mid] <= idx {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// trialAt performs one trial at site s.
+func (e *LPNDCA) trialAt(s int) {
+	rt := e.cm.PickType(e.src.Float64())
+	if e.cm.TryExecute(e.cells, rt, s) {
+		e.successes++
+		if e.tracker != nil {
+			e.tracker.afterExecute(rt, s)
+		}
+	}
+	e.trials++
+	nk := float64(e.cm.Lat.N()) * e.cm.K
+	if e.DeterministicTime {
+		e.time += 1 / nk
+	} else {
+		e.time += e.src.Exp(nk)
+	}
+}
+
+// runInChunk performs want trials at random sites (with replacement) of
+// chunk ci; firstSite, when non-negative, is the pre-drawn site of the
+// first trial (from the size-proportional selection draw).
+func (e *LPNDCA) runInChunk(ci, want, firstSite int) {
+	chunk := e.part.Chunks[ci]
+	for i := 0; i < want; i++ {
+		var s int
+		switch {
+		case i == 0 && firstSite >= 0:
+			s = firstSite
+		case len(chunk) == 1:
+			s = int(chunk[0])
+		default:
+			s = int(chunk[e.src.Intn(len(chunk))])
+		}
+		e.trialAt(s)
+	}
+}
+
+// Step performs one L-PNDCA step of exactly N trials.
+func (e *LPNDCA) Step() bool {
+	n := e.cm.Lat.N()
+	remaining := n
+	m := e.part.NumChunks()
+	for remaining > 0 {
+		l := e.L
+		if l > remaining {
+			l = remaining
+		}
+		switch e.Strategy {
+		case AllInOrder:
+			ci := e.perm[e.cursor]
+			e.cursor = (e.cursor + 1) % m
+			e.runInChunk(ci, l, -1)
+		case AllRandomOrder:
+			if e.cursor == 0 {
+				e.src.Perm(e.perm)
+			}
+			ci := e.perm[e.cursor]
+			e.cursor = (e.cursor + 1) % m
+			e.runInChunk(ci, l, -1)
+		case RandomReplacement:
+			if m == 1 {
+				e.runInChunk(0, l, -1)
+				break
+			}
+			idx := e.src.Intn(n)
+			ci := e.chunkOfIndex(idx)
+			first := int(e.part.Chunks[ci][idx-e.sizePrefix[ci]])
+			e.runInChunk(ci, l, first)
+		case RateWeighted:
+			if e.tracker == nil {
+				e.tracker = newRateTracker(e.cm, e.cells, e.part)
+			}
+			ci, ok := e.tracker.pick(e.src)
+			if !ok {
+				// Nothing enabled anywhere: the step still costs time.
+				e.trials += uint64(remaining)
+				nk := float64(n) * e.cm.K
+				for i := 0; i < remaining; i++ {
+					if e.DeterministicTime {
+						e.time += 1 / nk
+					} else {
+						e.time += e.src.Exp(nk)
+					}
+				}
+				return true
+			}
+			e.runInChunk(ci, l, -1)
+		}
+		remaining -= l
+	}
+	return true
+}
+
+// Time returns the simulated time.
+func (e *LPNDCA) Time() float64 { return e.time }
+
+// Config returns the live configuration.
+func (e *LPNDCA) Config() *lattice.Config { return e.cfg }
+
+// Trials returns the trials attempted.
+func (e *LPNDCA) Trials() uint64 { return e.trials }
+
+// Successes returns the executed reactions.
+func (e *LPNDCA) Successes() uint64 { return e.successes }
+
+// MCSteps returns trials/N.
+func (e *LPNDCA) MCSteps() float64 { return float64(e.trials) / float64(e.cm.Lat.N()) }

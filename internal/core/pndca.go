@@ -1,0 +1,214 @@
+// Package core implements the paper's contribution (§5): Cellular
+// Automaton simulation with partitions.
+//
+//   - PNDCA: per step, every chunk of the partition is swept and every
+//     site of the chunk performs one rate-weighted trial. Because the
+//     partition satisfies the non-overlap rule, all sites of one chunk
+//     update independently — the package executes them on parallel
+//     goroutines with bit-identical results to the sequential sweep.
+//   - L-PNDCA: the generalised algorithm where chunks are selected
+//     repeatedly (four selection strategies) and L random trials are
+//     spent inside the selected chunk, until N trials complete a step.
+//     For m=1 or m=N it reduces exactly to the Random Selection Method.
+//   - TypePartitioned: the Ω×T partitioning (the generalisation of
+//     Kortlüke's algorithm), where the reaction-type set is split into
+//     subsets and a coarser two-chunk partition is swept one reaction
+//     type at a time.
+package core
+
+import (
+	"sync"
+
+	"parsurf/internal/lattice"
+	"parsurf/internal/model"
+	"parsurf/internal/partition"
+	"parsurf/internal/rng"
+)
+
+// ChunkOrder selects the order in which PNDCA visits the chunks of the
+// partition within one step.
+type ChunkOrder int
+
+const (
+	// InOrder visits chunks in index order every step (§5 selection
+	// strategy 1).
+	InOrder ChunkOrder = iota
+	// RandomOrder visits all chunks once per step in a fresh random
+	// permutation (§5 selection strategy 2).
+	RandomOrder
+)
+
+// PNDCA is the Partitioned Non-Deterministic Cellular Automaton: per
+// step every chunk is swept once, and within a chunk every site performs
+// exactly one trial (reaction type chosen with probability k_i/K,
+// executed if enabled).
+type PNDCA struct {
+	cm    *model.Compiled
+	cfg   *lattice.Config
+	cells []lattice.Species
+	src   *rng.Source
+	part  *partition.Partition
+	parts []*partition.Partition // optional per-step cycle (UsePartitions)
+
+	// Workers is the number of goroutines sweeping each chunk. The
+	// non-overlap rule makes in-chunk updates commute, and per-site
+	// random streams make the result bit-identical for every worker
+	// count. Zero or one means sequential.
+	Workers int
+	// Order is the chunk visiting order within a step.
+	Order ChunkOrder
+	// DeterministicTime advances 1/(N·K) per trial instead of Exp(N·K).
+	DeterministicTime bool
+
+	time      float64
+	sweep     uint64 // per-chunk-sweep stream counter
+	steps     uint64
+	successes uint64
+	perm      []int
+}
+
+// NewPNDCA builds the engine. The partition must satisfy the all-types
+// non-overlap rule for the model (verify with partition.VerifyNonOverlap;
+// the constructor does not re-verify, allowing deliberately invalid
+// partitions in experiments).
+func NewPNDCA(cm *model.Compiled, cfg *lattice.Config, src *rng.Source, part *partition.Partition) *PNDCA {
+	if !cfg.Lattice().SameShape(cm.Lat) {
+		panic("core: configuration lattice differs from compiled lattice")
+	}
+	if !part.Lat.SameShape(cm.Lat) {
+		panic("core: partition lattice differs from compiled lattice")
+	}
+	p := &PNDCA{
+		cm: cm, cfg: cfg, cells: cfg.Cells(), src: src, part: part,
+		perm: make([]int, part.NumChunks()),
+	}
+	for i := range p.perm {
+		p.perm[i] = i
+	}
+	return p
+}
+
+// UsePartitions installs a cycle of partitions: step k sweeps
+// partitions[k mod len]. This realises the "choose a partition P" of
+// the §5 algorithm (as the BCA of Fig. 3 alternates tilings). All
+// partitions must live on the compiled lattice shape and each must
+// satisfy the non-overlap rule.
+func (p *PNDCA) UsePartitions(parts []*partition.Partition) {
+	if len(parts) == 0 {
+		panic("core: UsePartitions with no partitions")
+	}
+	for _, part := range parts {
+		if !part.Lat.SameShape(p.cm.Lat) {
+			panic("core: partition lattice differs from compiled lattice")
+		}
+	}
+	p.parts = parts
+}
+
+// currentPartition returns the partition for this step.
+func (p *PNDCA) currentPartition() *partition.Partition {
+	if len(p.parts) == 0 {
+		return p.part
+	}
+	return p.parts[int(p.steps)%len(p.parts)]
+}
+
+// Step performs one PNDCA step: every chunk swept once, every site of
+// the lattice trialled once (N trials = one MC step).
+func (p *PNDCA) Step() bool {
+	part := p.currentPartition()
+	if len(p.perm) != part.NumChunks() {
+		p.perm = make([]int, part.NumChunks())
+		for i := range p.perm {
+			p.perm[i] = i
+		}
+	}
+	if p.Order == RandomOrder {
+		p.src.Perm(p.perm)
+	} else {
+		for i := range p.perm {
+			p.perm[i] = i
+		}
+	}
+	for _, ci := range p.perm {
+		p.sweepChunk(part.Chunks[ci])
+	}
+	p.steps++
+	return true
+}
+
+// sweepChunk trials every site of the chunk once, possibly on parallel
+// goroutines. Every site draws from its own derived random stream, so
+// the outcome is independent of the worker count and of goroutine
+// scheduling.
+func (p *PNDCA) sweepChunk(chunk []int32) {
+	p.sweep++
+	base := p.src.Split(p.sweep)
+	nk := float64(p.cm.Lat.N()) * p.cm.K
+
+	visit := func(lo, hi int) (succ uint64, dt float64) {
+		for _, s := range chunk[lo:hi] {
+			st := base.Split(uint64(s))
+			rt := p.cm.PickType(st.Float64())
+			if p.cm.TryExecute(p.cells, rt, int(s)) {
+				succ++
+			}
+			if p.DeterministicTime {
+				dt += 1 / nk
+			} else {
+				dt += st.Exp(nk)
+			}
+		}
+		return
+	}
+
+	workers := p.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(chunk) {
+		workers = len(chunk)
+	}
+	if workers == 1 {
+		succ, dt := visit(0, len(chunk))
+		p.successes += succ
+		p.time += dt
+		return
+	}
+
+	// Fixed segmentation: worker w handles [w·len/W, (w+1)·len/W).
+	// Subtotals are combined in segment order so the floating-point
+	// sum is deterministic for a given worker count.
+	succs := make([]uint64, workers)
+	dts := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(chunk) / workers
+		hi := (w + 1) * len(chunk) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			succs[w], dts[w] = visit(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		p.successes += succs[w]
+		p.time += dts[w]
+	}
+}
+
+// Time returns the simulated time.
+func (p *PNDCA) Time() float64 { return p.time }
+
+// Config returns the live configuration.
+func (p *PNDCA) Config() *lattice.Config { return p.cfg }
+
+// Steps returns the number of completed steps.
+func (p *PNDCA) Steps() uint64 { return p.steps }
+
+// Successes returns the number of executed reactions.
+func (p *PNDCA) Successes() uint64 { return p.successes }
+
+// Partition returns the partition the engine sweeps.
+func (p *PNDCA) Partition() *partition.Partition { return p.part }

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"parsurf/internal/fenwick"
+	"parsurf/internal/lattice"
+	"parsurf/internal/model"
+	"parsurf/internal/partition"
+	"parsurf/internal/rng"
+)
+
+// rateTracker maintains, per chunk, the summed rate of the reactions
+// currently enabled at the chunk's sites — the weights of §5 selection
+// way 4 ("a weighted selection according to the rates of enabled
+// reactions in each chunk"). Enabledness is tracked per (type, site)
+// and updated incrementally through the model's dependency offsets after
+// every executed reaction, VSSM-style.
+type rateTracker struct {
+	cm      *model.Compiled
+	cells   []lattice.Species
+	part    *partition.Partition
+	enabled [][]bool // [type][site]
+	weights *fenwick.Tree
+	scratch []int
+}
+
+func newRateTracker(cm *model.Compiled, cells []lattice.Species, part *partition.Partition) *rateTracker {
+	t := &rateTracker{
+		cm:      cm,
+		cells:   cells,
+		part:    part,
+		enabled: make([][]bool, cm.NumTypes()),
+		weights: fenwick.New(part.NumChunks()),
+	}
+	n := cm.Lat.N()
+	for rt := range t.enabled {
+		t.enabled[rt] = make([]bool, n)
+		for s := 0; s < n; s++ {
+			if cm.Enabled(cells, rt, s) {
+				t.enabled[rt][s] = true
+				t.weights.Add(part.ChunkOf(s), cm.Types[rt].Rate)
+			}
+		}
+	}
+	return t
+}
+
+// refresh re-evaluates (rt, s) and adjusts the owning chunk's weight.
+func (t *rateTracker) refresh(rt, s int) {
+	now := t.cm.Enabled(t.cells, rt, s)
+	if now == t.enabled[rt][s] {
+		return
+	}
+	t.enabled[rt][s] = now
+	delta := t.cm.Types[rt].Rate
+	if !now {
+		delta = -delta
+	}
+	t.weights.Add(t.part.ChunkOf(s), delta)
+}
+
+// afterExecute updates the weights after reaction rt fired at site s.
+// It must be called after the configuration change.
+func (t *rateTracker) afterExecute(rt, s int) {
+	t.scratch = t.cm.ChangedSites(t.scratch[:0], rt, s)
+	for _, z := range t.scratch {
+		t.cm.Dependencies(z, t.refresh)
+	}
+}
+
+// pick draws a chunk with probability proportional to its enabled rate.
+// ok is false when nothing is enabled anywhere.
+func (t *rateTracker) pick(src *rng.Source) (chunk int, ok bool) {
+	total := t.weights.Total()
+	if total <= 0 {
+		return 0, false
+	}
+	return t.weights.Search(src.Float64() * total), true
+}
+
+// chunkWeight exposes a chunk's current enabled rate (for tests).
+func (t *rateTracker) chunkWeight(ci int) float64 { return t.weights.Get(ci) }

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sync"
+
+	"parsurf/internal/lattice"
+	"parsurf/internal/model"
+	"parsurf/internal/partition"
+	"parsurf/internal/rng"
+)
+
+// TypePartitioned is the second partitioning approach of §5 (the
+// generalisation of Kortlüke's algorithm): the reaction-type set T is
+// split into subsets T_j, each with an associated site partition that
+// satisfies the *per-type* non-overlap rule. One step performs |T|
+// sweeps; each sweep selects a subset with probability K_Tj/K, a single
+// reaction type from the subset with probability k_i/K_Tj, and a chunk
+// uniformly, then attempts that one type at every site of the chunk.
+//
+// Because only one reaction type is active per sweep, the site
+// partition can be coarser (two checkerboard chunks instead of five for
+// the CO-oxidation model), increasing the per-sweep concurrency.
+type TypePartitioned struct {
+	cm    *model.Compiled
+	cfg   *lattice.Config
+	cells []lattice.Species
+	src   *rng.Source
+	split *partition.TypeSplit
+
+	// Workers sweeps each chunk on parallel goroutines, bit-identically
+	// to the sequential sweep (per-site derived streams).
+	Workers int
+	// DeterministicTime advances 1/(N·K) per site visit.
+	DeterministicTime bool
+	// Accept is the per-site acceptance probability of a sweep
+	// (default 1 = the literal §5 algorithm, which executes the
+	// selected type at every enabled site of the chunk). Values below
+	// one thin the sweep: each enabled site fires only with this
+	// probability, and each visit advances the clock by only
+	// Accept/(N·K) so the per-site execution rate stays calibrated —
+	// the engine then needs proportionally more sweeps per unit of
+	// simulated time. Thinning breaks the all-at-once correlation of
+	// mass sweeps (the bias that O-poisons adsorption models, see the
+	// package tests) at that extra cost.
+	Accept float64
+
+	subsetCum []float64
+	typeCum   [][]float64
+
+	time      float64
+	sweepID   uint64
+	steps     uint64
+	visits    uint64
+	successes uint64
+}
+
+// NewTypePartitioned builds the engine from a verified type split (call
+// split.Verify beforehand; the constructor does not re-verify).
+func NewTypePartitioned(cm *model.Compiled, cfg *lattice.Config, src *rng.Source, split *partition.TypeSplit) *TypePartitioned {
+	if !cfg.Lattice().SameShape(cm.Lat) {
+		panic("core: configuration lattice differs from compiled lattice")
+	}
+	e := &TypePartitioned{cm: cm, cfg: cfg, cells: cfg.Cells(), src: src, split: split}
+	acc := 0.0
+	for _, r := range split.SubsetRates {
+		acc += r
+		e.subsetCum = append(e.subsetCum, acc)
+	}
+	for _, subset := range split.Subsets {
+		cum := make([]float64, len(subset))
+		a := 0.0
+		for i, rt := range subset {
+			a += cm.Types[rt].Rate
+			cum[i] = a
+		}
+		e.typeCum = append(e.typeCum, cum)
+	}
+	return e
+}
+
+func pickCum(cum []float64, u float64) int {
+	target := u * cum[len(cum)-1]
+	for i, c := range cum {
+		if target < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// Step performs |T| sweeps, visiting roughly N sites in total (for the
+// two-subset checkerboard split each sweep covers N/2 sites).
+func (e *TypePartitioned) Step() bool {
+	for j := 0; j < e.split.NumSubsets(); j++ {
+		tj := pickCum(e.subsetCum, e.src.Float64())
+		ti := pickCum(e.typeCum[tj], e.src.Float64())
+		rt := e.split.Subsets[tj][ti]
+		part := e.split.Partitions[tj]
+		ci := e.src.Intn(part.NumChunks())
+		e.sweepType(rt, part.Chunks[ci])
+	}
+	e.steps++
+	return true
+}
+
+// sweepType attempts reaction type rt at every site of the chunk.
+func (e *TypePartitioned) sweepType(rt int, chunk []int32) {
+	e.sweepID++
+	base := e.src.Split(e.sweepID)
+	accept := e.Accept
+	if accept <= 0 || accept > 1 {
+		accept = 1
+	}
+	// Thinning slows the clock so the per-site execution rate stays
+	// calibrated: visits per unit time scale by 1/accept.
+	nk := float64(e.cm.Lat.N()) * e.cm.K / accept
+
+	visit := func(lo, hi int) (succ uint64, dt float64) {
+		for _, s := range chunk[lo:hi] {
+			st := base.Split(uint64(s))
+			if accept >= 1 || st.Float64() < accept {
+				if e.cm.TryExecute(e.cells, rt, int(s)) {
+					succ++
+				}
+			}
+			if e.DeterministicTime {
+				dt += 1 / nk
+			} else {
+				dt += st.Exp(nk)
+			}
+		}
+		return
+	}
+
+	workers := e.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(chunk) {
+		workers = len(chunk)
+	}
+	if workers == 1 {
+		succ, dt := visit(0, len(chunk))
+		e.successes += succ
+		e.time += dt
+		e.visits += uint64(len(chunk))
+		return
+	}
+	succs := make([]uint64, workers)
+	dts := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(chunk) / workers
+		hi := (w + 1) * len(chunk) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			succs[w], dts[w] = visit(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		e.successes += succs[w]
+		e.time += dts[w]
+	}
+	e.visits += uint64(len(chunk))
+}
+
+// Time returns the simulated time.
+func (e *TypePartitioned) Time() float64 { return e.time }
+
+// Config returns the live configuration.
+func (e *TypePartitioned) Config() *lattice.Config { return e.cfg }
+
+// Steps returns completed steps.
+func (e *TypePartitioned) Steps() uint64 { return e.steps }
+
+// Visits returns the total site visits.
+func (e *TypePartitioned) Visits() uint64 { return e.visits }
+
+// Successes returns the executed reactions.
+func (e *TypePartitioned) Successes() uint64 { return e.successes }

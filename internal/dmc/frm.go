@@ -1,0 +1,117 @@
+package dmc
+
+import (
+	"parsurf/internal/eventq"
+	"parsurf/internal/lattice"
+	"parsurf/internal/model"
+	"parsurf/internal/rng"
+)
+
+// FRM is the First Reaction Method: every enabled reaction instance
+// (type, site) carries a tentative occurrence time drawn from its
+// exponential waiting-time distribution; the earliest event executes.
+// State changes reschedule exactly the affected instances; instances
+// that stay enabled keep their times, which is correct because the
+// exponential distribution is memoryless.
+type FRM struct {
+	cm    *model.Compiled
+	cfg   *lattice.Config
+	cells []lattice.Species
+	src   *rng.Source
+	time  float64
+
+	queue          *eventq.Queue
+	changedScratch []int
+	events         uint64
+}
+
+// NewFRM builds the engine and schedules all initially enabled
+// reactions.
+func NewFRM(cm *model.Compiled, cfg *lattice.Config, src *rng.Source) *FRM {
+	if !cfg.Lattice().SameShape(cm.Lat) {
+		panic("dmc: configuration lattice differs from compiled lattice")
+	}
+	f := &FRM{cm: cm, cfg: cfg, cells: cfg.Cells(), src: src, queue: eventq.New()}
+	n := cm.Lat.N()
+	for rt := 0; rt < cm.NumTypes(); rt++ {
+		for s := 0; s < n; s++ {
+			if cm.Enabled(f.cells, rt, s) {
+				f.queue.Schedule(f.key(rt, s), f.time+src.Exp(cm.Types[rt].Rate))
+			}
+		}
+	}
+	return f
+}
+
+func (f *FRM) key(rt, s int) int64 {
+	return int64(rt)*int64(f.cm.Lat.N()) + int64(s)
+}
+
+func (f *FRM) unkey(k int64) (rt, s int) {
+	n := int64(f.cm.Lat.N())
+	return int(k / n), int(k % n)
+}
+
+// refresh synchronises the queue entry for (rt, s) with the current
+// state: schedule newly enabled instances, cancel disabled ones, keep
+// still-enabled ones untouched (memorylessness).
+func (f *FRM) refresh(rt, s int) {
+	k := f.key(rt, s)
+	if f.cm.Enabled(f.cells, rt, s) {
+		if !f.queue.Contains(k) {
+			f.queue.Schedule(k, f.time+f.src.Exp(f.cm.Types[rt].Rate))
+		}
+	} else {
+		f.queue.Remove(k)
+	}
+}
+
+// Step executes the earliest scheduled reaction. It reports false from
+// an absorbing state (empty queue).
+func (f *FRM) Step() bool {
+	ev, ok := f.queue.Pop()
+	if !ok {
+		return false
+	}
+	f.time = ev.Time
+	rt, s := f.unkey(ev.Key)
+
+	f.changedScratch = f.cm.ChangedSites(f.changedScratch[:0], rt, s)
+	f.cm.Execute(f.cells, rt, s)
+	for _, z := range f.changedScratch {
+		f.cm.Dependencies(z, f.refresh)
+	}
+	// If the executed instance is enabled again (e.g. a desorption that
+	// re-enables an adsorption elsewhere covered above; the instance
+	// itself is re-examined through Dependencies since reactions change
+	// their own sites), nothing more to do here.
+	f.events++
+	return true
+}
+
+// Time returns the simulated time.
+func (f *FRM) Time() float64 { return f.time }
+
+// Config returns the live configuration.
+func (f *FRM) Config() *lattice.Config { return f.cfg }
+
+// Events returns the number of executed reactions.
+func (f *FRM) Events() uint64 { return f.events }
+
+// Pending returns the number of scheduled events.
+func (f *FRM) Pending() int { return f.queue.Len() }
+
+// CheckConsistency verifies the queue against a full enabledness rescan.
+func (f *FRM) CheckConsistency() (rt, s int, ok bool) {
+	n := f.cm.Lat.N()
+	for r := 0; r < f.cm.NumTypes(); r++ {
+		for site := 0; site < n; site++ {
+			want := f.cm.Enabled(f.cells, r, site)
+			got := f.queue.Contains(f.key(r, site))
+			if want != got {
+				return r, site, false
+			}
+		}
+	}
+	return 0, 0, true
+}

@@ -1,0 +1,148 @@
+// Package eventq provides an indexed binary min-heap of timed events for
+// the First Reaction Method (FRM): every (reaction, site) pair can carry
+// at most one scheduled occurrence time, and state changes must be able
+// to reschedule or cancel events cheaply. The heap supports O(log n)
+// push, pop, update and remove by event key.
+package eventq
+
+// Event is a scheduled reaction occurrence.
+type Event struct {
+	Time float64
+	Key  int64 // caller-defined identity, e.g. rt*N + site
+}
+
+// Queue is an indexed min-heap ordered by Event.Time. Each Key appears at
+// most once; Schedule replaces an existing event for the same key.
+type Queue struct {
+	heap []Event
+	pos  map[int64]int // key -> heap index
+}
+
+// New returns an empty queue.
+func New() *Queue {
+	return &Queue{pos: make(map[int64]int)}
+}
+
+// Len returns the number of scheduled events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Schedule inserts an event, or reschedules the existing event with the
+// same key to the new time.
+func (q *Queue) Schedule(key int64, time float64) {
+	if i, ok := q.pos[key]; ok {
+		old := q.heap[i].Time
+		q.heap[i].Time = time
+		if time < old {
+			q.up(i)
+		} else {
+			q.down(i)
+		}
+		return
+	}
+	q.heap = append(q.heap, Event{Time: time, Key: key})
+	i := len(q.heap) - 1
+	q.pos[key] = i
+	q.up(i)
+}
+
+// Remove cancels the event with the given key, reporting whether it was
+// present.
+func (q *Queue) Remove(key int64) bool {
+	i, ok := q.pos[key]
+	if !ok {
+		return false
+	}
+	last := len(q.heap) - 1
+	q.swap(i, last)
+	q.heap = q.heap[:last]
+	delete(q.pos, key)
+	if i < last {
+		if !q.down(i) {
+			q.up(i)
+		}
+	}
+	return true
+}
+
+// Contains reports whether an event with the given key is scheduled.
+func (q *Queue) Contains(key int64) bool {
+	_, ok := q.pos[key]
+	return ok
+}
+
+// TimeOf returns the scheduled time for a key and whether it exists.
+func (q *Queue) TimeOf(key int64) (float64, bool) {
+	i, ok := q.pos[key]
+	if !ok {
+		return 0, false
+	}
+	return q.heap[i].Time, true
+}
+
+// Peek returns the earliest event without removing it. ok is false when
+// the queue is empty.
+func (q *Queue) Peek() (Event, bool) {
+	if len(q.heap) == 0 {
+		return Event{}, false
+	}
+	return q.heap[0], true
+}
+
+// Pop removes and returns the earliest event. ok is false when empty.
+func (q *Queue) Pop() (Event, bool) {
+	if len(q.heap) == 0 {
+		return Event{}, false
+	}
+	ev := q.heap[0]
+	q.Remove(ev.Key)
+	return ev, true
+}
+
+func (q *Queue) swap(i, j int) {
+	if i == j {
+		return
+	}
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.pos[q.heap[i].Key] = i
+	q.pos[q.heap[j].Key] = j
+}
+
+// up restores the heap property moving index i toward the root; returns
+// whether the element moved.
+func (q *Queue) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.heap[parent].Time <= q.heap[i].Time {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+// down restores the heap property moving index i toward the leaves;
+// returns whether the element moved.
+func (q *Queue) down(i int) bool {
+	moved := false
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.heap[l].Time < q.heap[smallest].Time {
+			smallest = l
+		}
+		if r < n && q.heap[r].Time < q.heap[smallest].Time {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.swap(i, smallest)
+		i = smallest
+		moved = true
+	}
+	return moved
+}

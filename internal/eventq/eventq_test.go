@@ -1,0 +1,169 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"parsurf/internal/rng"
+)
+
+func TestEmpty(t *testing.T) {
+	q := New()
+	if q.Len() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty returned ok")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty returned ok")
+	}
+	if q.Remove(5) {
+		t.Fatal("Remove on empty returned true")
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	q := New()
+	times := []float64{5, 1, 3, 2, 4}
+	for i, tm := range times {
+		q.Schedule(int64(i), tm)
+	}
+	prev := -1.0
+	for q.Len() > 0 {
+		ev, _ := q.Pop()
+		if ev.Time < prev {
+			t.Fatalf("pop out of order: %v after %v", ev.Time, prev)
+		}
+		prev = ev.Time
+	}
+}
+
+func TestScheduleReplaces(t *testing.T) {
+	q := New()
+	q.Schedule(7, 10)
+	q.Schedule(7, 1) // move earlier
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after reschedule", q.Len())
+	}
+	if tm, ok := q.TimeOf(7); !ok || tm != 1 {
+		t.Fatalf("TimeOf = %v,%v", tm, ok)
+	}
+	q.Schedule(7, 20) // move later
+	ev, _ := q.Pop()
+	if ev.Time != 20 || ev.Key != 7 {
+		t.Fatalf("pop = %+v", ev)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	q := New()
+	for i := int64(0); i < 10; i++ {
+		q.Schedule(i, float64(10-i))
+	}
+	if !q.Remove(0) { // time 10, somewhere in the heap
+		t.Fatal("Remove(0) failed")
+	}
+	if q.Contains(0) {
+		t.Fatal("removed key still present")
+	}
+	if q.Remove(0) {
+		t.Fatal("double Remove succeeded")
+	}
+	// Remaining events must still come out ordered.
+	prev := -1.0
+	count := 0
+	for q.Len() > 0 {
+		ev, _ := q.Pop()
+		if ev.Time < prev {
+			t.Fatal("order violated after Remove")
+		}
+		prev = ev.Time
+		count++
+	}
+	if count != 9 {
+		t.Fatalf("drained %d events, want 9", count)
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	q := New()
+	q.Schedule(1, 3)
+	ev, ok := q.Peek()
+	if !ok || ev.Key != 1 || q.Len() != 1 {
+		t.Fatal("Peek misbehaved")
+	}
+}
+
+// Property: popping everything yields times in non-decreasing order and
+// exactly the scheduled set, under a random mix of schedules, updates
+// and removals.
+func TestQuickHeapInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		q := New()
+		expected := make(map[int64]float64)
+		for op := 0; op < 300; op++ {
+			key := int64(src.Intn(40))
+			switch src.Intn(3) {
+			case 0, 1:
+				tm := src.Float64() * 100
+				q.Schedule(key, tm)
+				expected[key] = tm
+			case 2:
+				removed := q.Remove(key)
+				if _, want := expected[key]; want != removed {
+					return false
+				}
+				delete(expected, key)
+			}
+		}
+		if q.Len() != len(expected) {
+			return false
+		}
+		var wantTimes []float64
+		for _, tm := range expected {
+			wantTimes = append(wantTimes, tm)
+		}
+		sort.Float64s(wantTimes)
+		for i := 0; q.Len() > 0; i++ {
+			ev, _ := q.Pop()
+			if ev.Time != wantTimes[i] {
+				return false
+			}
+			if want, ok := expected[ev.Key]; !ok || want != ev.Time {
+				return false
+			}
+			delete(expected, ev.Key)
+		}
+		return len(expected) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleRemove(b *testing.B) {
+	q := New()
+	src := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		key := int64(i % 10000)
+		q.Schedule(key, src.Float64()*1000)
+		if i%3 == 0 {
+			q.Remove(int64(src.Intn(10000)))
+		}
+	}
+}
+
+func BenchmarkPop(b *testing.B) {
+	src := rng.New(2)
+	q := New()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(int64(i), src.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Pop()
+	}
+}

@@ -1,0 +1,115 @@
+// Package fenwick implements a Fenwick (binary indexed) tree over
+// float64 weights with O(log n) point updates, prefix sums, and weighted
+// sampling by cumulative weight. It is the substrate for the VSSM/direct
+// DMC method (selecting the next reaction with probability proportional
+// to its rate) and for rate-weighted chunk selection in L-PNDCA.
+package fenwick
+
+import "fmt"
+
+// Tree is a Fenwick tree over n float64 weights, indexed 0..n-1.
+type Tree struct {
+	tree []float64 // 1-based internal array
+	n    int
+}
+
+// New returns a tree of n zero weights.
+func New(n int) *Tree {
+	if n < 0 {
+		panic("fenwick: negative size")
+	}
+	return &Tree{tree: make([]float64, n+1), n: n}
+}
+
+// FromWeights builds a tree initialised with the given weights in O(n).
+func FromWeights(w []float64) *Tree {
+	t := New(len(w))
+	copy(t.tree[1:], w)
+	for i := 1; i <= t.n; i++ {
+		parent := i + (i & -i)
+		if parent <= t.n {
+			t.tree[parent] += t.tree[i]
+		}
+	}
+	return t
+}
+
+// Len returns the number of slots.
+func (t *Tree) Len() int { return t.n }
+
+// Add adds delta to the weight at index i.
+func (t *Tree) Add(i int, delta float64) {
+	if i < 0 || i >= t.n {
+		panic(fmt.Sprintf("fenwick: index %d out of range [0,%d)", i, t.n))
+	}
+	for j := i + 1; j <= t.n; j += j & -j {
+		t.tree[j] += delta
+	}
+}
+
+// PrefixSum returns the sum of weights in [0, i) — i.e. of the first i
+// slots. PrefixSum(0) is 0; PrefixSum(Len()) is the total.
+func (t *Tree) PrefixSum(i int) float64 {
+	if i < 0 || i > t.n {
+		panic(fmt.Sprintf("fenwick: prefix %d out of range [0,%d]", i, t.n))
+	}
+	sum := 0.0
+	for j := i; j > 0; j -= j & -j {
+		sum += t.tree[j]
+	}
+	return sum
+}
+
+// Total returns the sum of all weights.
+func (t *Tree) Total() float64 { return t.PrefixSum(t.n) }
+
+// Get returns the weight at index i.
+func (t *Tree) Get(i int) float64 {
+	return t.PrefixSum(i+1) - t.PrefixSum(i)
+}
+
+// Set sets the weight at index i to w.
+func (t *Tree) Set(i int, w float64) {
+	t.Add(i, w-t.Get(i))
+}
+
+// Search returns the smallest index i such that the cumulative weight
+// through slot i exceeds target, i.e. the slot a uniform draw
+// target ∈ [0, Total()) lands in under weighted sampling. If the target
+// is at or beyond the total (possible through floating-point drift), the
+// last slot with positive weight is returned.
+func (t *Tree) Search(target float64) int {
+	if t.n == 0 {
+		panic("fenwick: Search on empty tree")
+	}
+	idx := 0
+	// Highest power of two ≤ n.
+	bit := 1
+	for bit<<1 <= t.n {
+		bit <<= 1
+	}
+	for ; bit > 0; bit >>= 1 {
+		next := idx + bit
+		if next <= t.n && t.tree[next] <= target {
+			idx = next
+			target -= t.tree[next]
+		}
+	}
+	if idx >= t.n {
+		// Clamp for target ≥ Total: find the last positive-weight slot.
+		for i := t.n - 1; i >= 0; i-- {
+			if t.Get(i) > 0 {
+				return i
+			}
+		}
+		return t.n - 1
+	}
+	return idx
+}
+
+// Reset zeroes all weights.
+func (t *Tree) Reset() {
+	for i := range t.tree {
+		t.tree[i] = 0
+	}
+}

@@ -1,0 +1,202 @@
+package model
+
+import (
+	"fmt"
+
+	"parsurf/internal/lattice"
+)
+
+// Compiled binds a Model to a concrete lattice and precomputes, for every
+// offset used by any reaction type, the full translation table
+// offset → (site → site). This removes per-trial modular arithmetic from
+// the simulation hot loops and is shared by all engines (DMC and CA).
+type Compiled struct {
+	Model *Model
+	Lat   *lattice.Lattice
+
+	// Types holds one compiled pattern per reaction type, same order as
+	// Model.Types.
+	Types []CompiledType
+
+	// Cum are the cumulative rates, K the total.
+	Cum []float64
+	K   float64
+
+	tables map[lattice.Vec][]int32
+}
+
+// CompiledType is a reaction type with its offsets resolved to shared
+// translation tables.
+type CompiledType struct {
+	Rate    float64
+	Triples []CompiledTriple
+}
+
+// CompiledTriple mirrors Triple with a resolved translation table:
+// the affected site for an application at s is Table[s].
+type CompiledTriple struct {
+	Table []int32
+	Src   lattice.Species
+	Tgt   lattice.Species
+}
+
+// Compile validates the model against the lattice and returns the
+// compiled form. Compilation fails if the model is invalid or if any
+// pattern self-collides on this lattice (two distinct offsets resolving
+// to the same site because an extent is smaller than the pattern), which
+// would make execution order-dependent.
+func Compile(m *Model, lat *lattice.Lattice) (*Compiled, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	cm := &Compiled{
+		Model:  m,
+		Lat:    lat,
+		Types:  make([]CompiledType, len(m.Types)),
+		Cum:    m.CumulativeRates(),
+		K:      m.K(),
+		tables: make(map[lattice.Vec][]int32),
+	}
+	for i := range m.Types {
+		rt := &m.Types[i]
+		ct := CompiledType{Rate: rt.Rate, Triples: make([]CompiledTriple, len(rt.Triples))}
+		for j, tr := range rt.Triples {
+			ct.Triples[j] = CompiledTriple{
+				Table: cm.table(tr.Off),
+				Src:   tr.Src,
+				Tgt:   tr.Tgt,
+			}
+		}
+		// Detect wrap-around self-collision: the resolved sites of an
+		// application at site 0 must be pairwise distinct.
+		seen := make(map[int32]bool, len(ct.Triples))
+		for _, tr := range ct.Triples {
+			site := tr.Table[0]
+			if seen[site] {
+				return nil, fmt.Errorf(
+					"model: reaction %q pattern self-collides on a %dx%d lattice",
+					rt.Name, lat.L0, lat.L1)
+			}
+			seen[site] = true
+		}
+		cm.Types[i] = ct
+	}
+	return cm, nil
+}
+
+// MustCompile is Compile that panics on error, for tests and examples
+// with statically known-good models.
+func MustCompile(m *Model, lat *lattice.Lattice) *Compiled {
+	cm, err := Compile(m, lat)
+	if err != nil {
+		panic(err)
+	}
+	return cm
+}
+
+// table returns (building if needed) the translation table for offset v.
+func (cm *Compiled) table(v lattice.Vec) []int32 {
+	if t, ok := cm.tables[v]; ok {
+		return t
+	}
+	n := cm.Lat.N()
+	t := make([]int32, n)
+	for s := 0; s < n; s++ {
+		t[s] = int32(cm.Lat.Translate(s, v))
+	}
+	cm.tables[v] = t
+	return t
+}
+
+// NumTypes returns the number of reaction types.
+func (cm *Compiled) NumTypes() int { return len(cm.Types) }
+
+// Enabled reports whether reaction type rt is enabled at site s: the
+// source pattern matches the configuration.
+func (cm *Compiled) Enabled(cells []lattice.Species, rt, s int) bool {
+	for i := range cm.Types[rt].Triples {
+		tr := &cm.Types[rt].Triples[i]
+		if cells[tr.Table[s]] != tr.Src {
+			return false
+		}
+	}
+	return true
+}
+
+// Execute applies reaction type rt at site s (no enabledness check).
+func (cm *Compiled) Execute(cells []lattice.Species, rt, s int) {
+	for i := range cm.Types[rt].Triples {
+		tr := &cm.Types[rt].Triples[i]
+		cells[tr.Table[s]] = tr.Tgt
+	}
+}
+
+// TryExecute checks enabledness and executes on success, reporting
+// whether the reaction fired. This is the body of one RSM/NDCA trial.
+func (cm *Compiled) TryExecute(cells []lattice.Species, rt, s int) bool {
+	if !cm.Enabled(cells, rt, s) {
+		return false
+	}
+	cm.Execute(cells, rt, s)
+	return true
+}
+
+// PickType selects a reaction type with probability k_i/K given a uniform
+// u in [0,1). Linear scan over the cumulative table: models have few
+// types and the scan beats binary search at these sizes.
+func (cm *Compiled) PickType(u float64) int {
+	target := u * cm.K
+	for i, c := range cm.Cum {
+		if target < c {
+			return i
+		}
+	}
+	return len(cm.Cum) - 1
+}
+
+// ChangedSites appends to dst the sites whose contents executing rt at s
+// modifies (triples with Src != Tgt), and returns the extended slice.
+func (cm *Compiled) ChangedSites(dst []int, rt, s int) []int {
+	for i := range cm.Types[rt].Triples {
+		tr := &cm.Types[rt].Triples[i]
+		if tr.Src != tr.Tgt {
+			dst = append(dst, int(tr.Table[s]))
+		}
+	}
+	return dst
+}
+
+// Dependencies enumerates, for a changed site z, all (reaction type,
+// application site) pairs whose enabledness may have changed: for every
+// type r and every offset o in r's pattern, the application site z−o.
+// The visit function is called once per pair; pairs are not deduplicated
+// across offsets of the same type unless they resolve to distinct sites.
+func (cm *Compiled) Dependencies(z int, visit func(rt, s int)) {
+	for r := range cm.Types {
+		triples := cm.Types[r].Triples
+		// For patterns of size ≤ 2 (the common case) duplicates cannot
+		// occur; for larger ones the caller's data structure must
+		// tolerate repeated visits (ours do).
+		for i := range triples {
+			s := cm.invTable(r, i)[z]
+			visit(r, int(s))
+		}
+	}
+}
+
+// invTables caches inverse translation tables per (type, triple).
+func (cm *Compiled) invTable(r, i int) []int32 {
+	// The inverse of translating by v is translating by -v; reuse the
+	// shared table map keyed by the negated offset.
+	off := cm.Model.Types[r].Triples[i].Off.Neg()
+	return cm.table(off)
+}
+
+// NbSites appends to dst the resolved neighbourhood sites of reaction
+// type rt applied at s (all triples, changed or not).
+func (cm *Compiled) NbSites(dst []int, rt, s int) []int {
+	for i := range cm.Types[rt].Triples {
+		dst = append(dst, int(cm.Types[rt].Triples[i].Table[s]))
+	}
+	return dst
+}

@@ -1,0 +1,199 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parsurf/internal/lattice"
+	"parsurf/internal/rng"
+)
+
+func TestCompileZGB(t *testing.T) {
+	m := NewZGB(DefaultZGBRates())
+	lat := lattice.New(16, 16)
+	cm, err := Compile(m, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.NumTypes() != 7 {
+		t.Fatalf("compiled %d types", cm.NumTypes())
+	}
+	if math.Abs(cm.K-m.K()) > 1e-12 {
+		t.Fatal("K mismatch")
+	}
+}
+
+func TestCompileRejectsInvalidModel(t *testing.T) {
+	m := &Model{Species: []string{"*"}}
+	if _, err := Compile(m, lattice.New(4, 4)); err == nil {
+		t.Fatal("compiled an invalid model")
+	}
+}
+
+func TestCompileRejectsSelfCollision(t *testing.T) {
+	// A two-site horizontal pattern on a width-1 lattice wraps onto
+	// itself.
+	m := NewSingleFile(1)
+	if _, err := Compile(m, lattice.New(1, 1)); err == nil {
+		t.Fatal("self-colliding pattern accepted")
+	}
+	// Width 2 is fine for offsets ±1.
+	if _, err := Compile(m, lattice.New(2, 1)); err != nil {
+		t.Fatalf("width-2 ring rejected: %v", err)
+	}
+}
+
+// The compiled Enabled/Execute must agree with the interpreted
+// ReactionType methods on random configurations.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	m := NewPtCO(DefaultPtCORates())
+	lat := lattice.New(12, 10)
+	cm := MustCompile(m, lat)
+	src := rng.New(99)
+	c := lattice.NewConfig(lat)
+	c.Randomize([]float64{1, 1, 1, 1, 1, 1}, src.Float64)
+	for trial := 0; trial < 5000; trial++ {
+		s := src.Intn(lat.N())
+		rt := src.Intn(cm.NumTypes())
+		want := m.Types[rt].Enabled(c, s)
+		got := cm.Enabled(c.Cells(), rt, s)
+		if got != want {
+			t.Fatalf("Enabled mismatch at rt=%d s=%d: compiled %v interpreted %v", rt, s, got, want)
+		}
+		if got {
+			d := c.Clone()
+			m.Types[rt].Execute(d, s)
+			cm.Execute(c.Cells(), rt, s)
+			if !c.Equal(d) {
+				t.Fatalf("Execute mismatch at rt=%d s=%d", rt, s)
+			}
+		}
+	}
+}
+
+func TestTryExecute(t *testing.T) {
+	m := NewZGB(DefaultZGBRates())
+	lat := lattice.New(4, 4)
+	cm := MustCompile(m, lat)
+	c := lattice.NewConfig(lat)
+	co := m.TypeByName("RtCO")
+	if !cm.TryExecute(c.Cells(), co, 0) {
+		t.Fatal("TryExecute failed on enabled reaction")
+	}
+	if cm.TryExecute(c.Cells(), co, 0) {
+		t.Fatal("TryExecute fired on disabled reaction")
+	}
+	if c.Get(0) != ZGBCO {
+		t.Fatal("TryExecute did not write")
+	}
+}
+
+func TestPickTypeDistribution(t *testing.T) {
+	m := NewZGB(ZGBRates{KCO: 1, KO2: 2, KCO2: 3})
+	cm := MustCompile(m, lattice.New(4, 4))
+	src := rng.New(3)
+	const draws = 200000
+	counts := make([]int, cm.NumTypes())
+	for i := 0; i < draws; i++ {
+		counts[cm.PickType(src.Float64())]++
+	}
+	for i, c := range counts {
+		want := m.Types[i].Rate / cm.K * draws
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("type %d picked %d times, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestPickTypeEdges(t *testing.T) {
+	m := NewZGB(DefaultZGBRates())
+	cm := MustCompile(m, lattice.New(4, 4))
+	if got := cm.PickType(0); got != 0 {
+		t.Fatalf("PickType(0) = %d", got)
+	}
+	if got := cm.PickType(0.9999999999); got != cm.NumTypes()-1 {
+		t.Fatalf("PickType(~1) = %d", got)
+	}
+}
+
+func TestChangedSites(t *testing.T) {
+	m := NewIsing(0.5)
+	lat := lattice.New(6, 6)
+	cm := MustCompile(m, lat)
+	// Ising flips change only the centre site even though the pattern
+	// reads five sites.
+	for rt := 0; rt < cm.NumTypes(); rt++ {
+		changed := cm.ChangedSites(nil, rt, 7)
+		if len(changed) != 1 || changed[0] != 7 {
+			t.Fatalf("Ising type %d changes %v, want [7]", rt, changed)
+		}
+		nb := cm.NbSites(nil, rt, 7)
+		if len(nb) != 5 {
+			t.Fatalf("Ising type %d neighbourhood %v", rt, nb)
+		}
+	}
+}
+
+// Dependencies must enumerate exactly the (type, site) pairs whose
+// pattern covers the changed site.
+func TestDependenciesComplete(t *testing.T) {
+	m := NewZGB(DefaultZGBRates())
+	lat := lattice.New(8, 8)
+	cm := MustCompile(m, lat)
+	z := lat.Index(4, 4)
+	got := make(map[[2]int]bool)
+	cm.Dependencies(z, func(rt, s int) { got[[2]int{rt, s}] = true })
+	// Brute force: all (rt, s) with z in the resolved pattern.
+	want := make(map[[2]int]bool)
+	for rt := range cm.Types {
+		for s := 0; s < lat.N(); s++ {
+			for _, site := range cm.NbSites(nil, rt, s) {
+				if site == z {
+					want[[2]int{rt, s}] = true
+				}
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Dependencies visited %d pairs, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing dependency %v", k)
+		}
+	}
+}
+
+// Property: compiled translation tables implement lattice.Translate.
+func TestQuickTables(t *testing.T) {
+	m := NewZGB(DefaultZGBRates())
+	lat := lattice.New(11, 5)
+	cm := MustCompile(m, lat)
+	f := func(s16 uint16, which, tri uint8) bool {
+		s := int(s16) % lat.N()
+		rt := int(which) % len(m.Types)
+		j := int(tri) % len(m.Types[rt].Triples)
+		off := m.Types[rt].Triples[j].Off
+		return int(cm.Types[rt].Triples[j].Table[s]) == lat.Translate(s, off)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompiledTrial(b *testing.B) {
+	m := NewZGB(DefaultZGBRates())
+	lat := lattice.New(256, 256)
+	cm := MustCompile(m, lat)
+	c := lattice.NewConfig(lat)
+	src := rng.New(1)
+	c.Randomize([]float64{1, 1, 1}, src.Float64)
+	cells := c.Cells()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := src.Intn(lat.N())
+		rt := cm.PickType(src.Float64())
+		cm.TryExecute(cells, rt, s)
+	}
+}

@@ -1,0 +1,312 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parsurf/internal/lattice"
+)
+
+func TestZGBTableI(t *testing.T) {
+	m := NewZGB(ZGBRates{KCO: 1, KO2: 2, KCO2: 3})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Types); got != 7 {
+		t.Fatalf("ZGB has %d reaction types, Table I has 7", got)
+	}
+	// One CO adsorption, two O2 orientations, four CO+O orientations.
+	var nCO, nO2, nRx int
+	for i := range m.Types {
+		rt := &m.Types[i]
+		switch {
+		case rt.Name == "RtCO":
+			nCO++
+			if len(rt.Triples) != 1 || rt.Rate != 1 {
+				t.Errorf("RtCO malformed: %+v", rt)
+			}
+		case len(rt.Name) >= 4 && rt.Name[:4] == "RtO2":
+			nO2++
+			if len(rt.Triples) != 2 || rt.Rate != 2 {
+				t.Errorf("RtO2 malformed: %+v", rt)
+			}
+			for _, tr := range rt.Triples {
+				if tr.Src != ZGBEmpty || tr.Tgt != ZGBO {
+					t.Errorf("RtO2 triple wrong: %+v", tr)
+				}
+			}
+		default:
+			nRx++
+			if len(rt.Triples) != 2 || rt.Rate != 3 {
+				t.Errorf("RtCO+O malformed: %+v", rt)
+			}
+			// Corrected Table I: every orientation consumes one CO and
+			// one O.
+			var srcs []lattice.Species
+			for _, tr := range rt.Triples {
+				srcs = append(srcs, tr.Src)
+				if tr.Tgt != ZGBEmpty {
+					t.Errorf("RtCO+O target not vacant: %+v", tr)
+				}
+			}
+			if !(srcs[0] == ZGBCO && srcs[1] == ZGBO) {
+				t.Errorf("RtCO+O sources = %v, want [CO O]", srcs)
+			}
+		}
+	}
+	if nCO != 1 || nO2 != 2 || nRx != 4 {
+		t.Fatalf("type counts CO=%d O2=%d rx=%d, want 1/2/4", nCO, nO2, nRx)
+	}
+	if k := m.K(); math.Abs(k-(1+2*2+4*3)) > 1e-12 {
+		t.Fatalf("K = %v, want 17", k)
+	}
+}
+
+func TestZGBOrientationsDistinct(t *testing.T) {
+	m := NewZGB(DefaultZGBRates())
+	offs := make(map[lattice.Vec]int)
+	for i := range m.Types {
+		if len(m.Types[i].Triples) == 2 && m.Types[i].Triples[0].Src == ZGBCO {
+			offs[m.Types[i].Triples[1].Off]++
+		}
+	}
+	if len(offs) != 4 {
+		t.Fatalf("CO+O orientations cover %d directions, want 4: %v", len(offs), offs)
+	}
+}
+
+func TestEnabledExecute(t *testing.T) {
+	m := NewZGB(DefaultZGBRates())
+	lat := lattice.New(8, 8)
+	c := lattice.NewConfig(lat)
+	co := m.TypeByName("RtCO")
+	if co < 0 {
+		t.Fatal("RtCO missing")
+	}
+	s := lat.Index(3, 3)
+	if !m.Types[co].Enabled(c, s) {
+		t.Fatal("CO adsorption should be enabled on empty site")
+	}
+	m.Types[co].Execute(c, s)
+	if c.Get(s) != ZGBCO {
+		t.Fatal("execution did not adsorb CO")
+	}
+	if m.Types[co].Enabled(c, s) {
+		t.Fatal("CO adsorption still enabled on occupied site")
+	}
+
+	// Set up an O east of the CO and fire the reaction.
+	east := lat.Translate(s, lattice.Vec{DX: 1})
+	c.Set(east, ZGBO)
+	rx := m.TypeByName("RtCO+O(0)")
+	if !m.Types[rx].Enabled(c, s) {
+		t.Fatal("CO+O east orientation should be enabled")
+	}
+	m.Types[rx].Execute(c, s)
+	if c.Get(s) != ZGBEmpty || c.Get(east) != ZGBEmpty {
+		t.Fatal("CO+O execution did not vacate both sites")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	good := Triple{Off: lattice.Vec{}, Src: 0, Tgt: 1}
+	cases := []struct {
+		name string
+		m    *Model
+	}{
+		{"no species", &Model{Types: []ReactionType{{Name: "x", Rate: 1, Triples: []Triple{good}}}}},
+		{"no types", &Model{Species: []string{"*"}}},
+		{"zero rate", &Model{Species: []string{"*", "A"}, Types: []ReactionType{{Name: "x", Rate: 0, Triples: []Triple{good}}}}},
+		{"nan rate", &Model{Species: []string{"*", "A"}, Types: []ReactionType{{Name: "x", Rate: math.NaN(), Triples: []Triple{good}}}}},
+		{"empty pattern", &Model{Species: []string{"*", "A"}, Types: []ReactionType{{Name: "x", Rate: 1}}}},
+		{"species out of range", &Model{Species: []string{"*"}, Types: []ReactionType{{Name: "x", Rate: 1, Triples: []Triple{{Off: lattice.Vec{}, Src: 0, Tgt: 5}}}}}},
+		{"no origin", &Model{Species: []string{"*", "A"}, Types: []ReactionType{{Name: "x", Rate: 1, Triples: []Triple{{Off: lattice.Vec{DX: 1}, Src: 0, Tgt: 1}}}}}},
+		{"dup offset", &Model{Species: []string{"*", "A"}, Types: []ReactionType{{Name: "x", Rate: 1, Triples: []Triple{good, {Off: lattice.Vec{}, Src: 0, Tgt: 0}}}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid model", tc.name)
+		}
+	}
+}
+
+func TestValidateAcceptsModels(t *testing.T) {
+	models := map[string]*Model{
+		"zgb":        NewZGB(DefaultZGBRates()),
+		"ptco":       NewPtCO(DefaultPtCORates()),
+		"dimer":      NewDimerDiffusion(1),
+		"singlefile": NewSingleFile(1),
+		"ising":      NewIsing(0.4),
+		"ab":         NewAB(1, 1, 5),
+	}
+	for name, m := range models {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCumulativeRates(t *testing.T) {
+	m := NewZGB(ZGBRates{KCO: 1, KO2: 2, KCO2: 3})
+	cum := m.CumulativeRates()
+	if len(cum) != 7 {
+		t.Fatalf("cum length %d", len(cum))
+	}
+	if math.Abs(cum[len(cum)-1]-m.K()) > 1e-12 {
+		t.Fatalf("last cumulative %v != K %v", cum[len(cum)-1], m.K())
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] <= cum[i-1] {
+			t.Fatal("cumulative rates not increasing")
+		}
+	}
+}
+
+func TestMaxPatternRadius(t *testing.T) {
+	if r := NewZGB(DefaultZGBRates()).MaxPatternRadius(); r != 1 {
+		t.Errorf("ZGB radius %d, want 1", r)
+	}
+	if r := NewIsing(1).MaxPatternRadius(); r != 1 {
+		t.Errorf("Ising radius %d, want 1", r)
+	}
+}
+
+func TestSpeciesByName(t *testing.T) {
+	m := NewZGB(DefaultZGBRates())
+	sp, err := m.SpeciesByName("CO")
+	if err != nil || sp != ZGBCO {
+		t.Fatalf("SpeciesByName(CO) = %v, %v", sp, err)
+	}
+	if _, err := m.SpeciesByName("Xe"); err == nil {
+		t.Fatal("unknown species accepted")
+	}
+}
+
+func TestArrhenius(t *testing.T) {
+	// At infinite temperature the rate is the prefactor.
+	if k := Arrhenius(5, 1e-20, 1e12); math.Abs(k-5) > 0.01 {
+		t.Fatalf("Arrhenius high-T limit: %v", k)
+	}
+	// Higher activation energy means lower rate.
+	k1 := Arrhenius(1, 0.5*1.602e-19, 300)
+	k2 := Arrhenius(1, 1.0*1.602e-19, 300)
+	if k2 >= k1 {
+		t.Fatalf("Arrhenius not decreasing in E: %v >= %v", k2, k1)
+	}
+}
+
+func TestIsingDetailedBalanceRates(t *testing.T) {
+	m := NewIsing(0.5)
+	if len(m.Types) != 32 {
+		t.Fatalf("Ising has %d types, want 32", len(m.Types))
+	}
+	for i := range m.Types {
+		r := m.Types[i].Rate
+		if r <= 0 || r > 1 {
+			t.Fatalf("Metropolis rate out of (0,1]: %v", r)
+		}
+	}
+	// Flipping an up spin with all up neighbours must be the rarest
+	// move; with all down neighbours it must be certain.
+	allUp := m.TypeByName("flip(c=1,nb=15)")
+	allDn := m.TypeByName("flip(c=1,nb=0)")
+	if m.Types[allDn].Rate != 1 {
+		t.Fatalf("favourable flip rate %v, want 1", m.Types[allDn].Rate)
+	}
+	want := math.Exp(-2 * 0.5 * 4)
+	if math.Abs(m.Types[allUp].Rate-want) > 1e-12 {
+		t.Fatalf("unfavourable flip rate %v, want %v", m.Types[allUp].Rate, want)
+	}
+}
+
+func TestPtCOModelStructure(t *testing.T) {
+	m := NewPtCO(DefaultPtCORates())
+	if len(m.Species) != 6 {
+		t.Fatalf("PtCO species %d, want 6", len(m.Species))
+	}
+	// O2 must only adsorb on square sites.
+	for i := range m.Types {
+		rt := &m.Types[i]
+		if len(rt.Name) >= 5 && rt.Name[:5] == "O2ads" {
+			for _, tr := range rt.Triples {
+				if tr.Src != PtSqEmpty || tr.Tgt != PtSqO {
+					t.Errorf("O2 adsorbs off the square phase: %+v", tr)
+				}
+			}
+		}
+	}
+	// Zeroing the front rates must drop those type families.
+	r := DefaultPtCORates()
+	r.VLift = 0
+	r.VRelax = 0
+	m2 := NewPtCO(r)
+	if len(m2.Types) >= len(m.Types) {
+		t.Error("zero front rates did not reduce the type count")
+	}
+}
+
+func TestPtCoverages(t *testing.T) {
+	lat := lattice.New(2, 2)
+	c := lattice.NewConfig(lat)
+	c.Set(0, PtSqCO)
+	c.Set(1, PtSqO)
+	c.Set(2, PtHexCO)
+	c.Set(3, PtHexEmpty)
+	co, o, sq := PtCoverages(c)
+	if co != 0.5 || o != 0.25 || sq != 0.5 {
+		t.Fatalf("coverages co=%v o=%v sq=%v", co, o, sq)
+	}
+}
+
+// Property: executing then "un-executing" (swapping src/tgt) restores the
+// configuration, for any site on any lattice — reaction execution is a
+// pure pattern write.
+func TestQuickExecuteInvertible(t *testing.T) {
+	m := NewZGB(DefaultZGBRates())
+	lat := lattice.New(9, 7)
+	f := func(s16 uint16, which uint8) bool {
+		s := int(s16) % lat.N()
+		rt := &m.Types[int(which)%len(m.Types)]
+		c := lattice.NewConfig(lat)
+		// Prepare the source pattern so the reaction is enabled.
+		for _, tr := range rt.Triples {
+			c.Set(lat.Translate(s, tr.Off), tr.Src)
+		}
+		before := c.Clone()
+		rt.Execute(c, s)
+		// Invert.
+		for _, tr := range rt.Triples {
+			c.Set(lat.Translate(s, tr.Off), tr.Src)
+		}
+		_ = tr0(rt)
+		return c.Equal(before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func tr0(rt *ReactionType) Triple { return rt.Triples[0] }
+
+// Property: Enabled is exactly "all source triples match".
+func TestQuickEnabledMeaning(t *testing.T) {
+	m := NewPtCO(DefaultPtCORates())
+	lat := lattice.New(6, 6)
+	f := func(s16 uint16, which uint8, fill uint8) bool {
+		s := int(s16) % lat.N()
+		rt := &m.Types[int(which)%len(m.Types)]
+		c := lattice.NewConfig(lat)
+		c.Fill(lattice.Species(fill % 6))
+		want := true
+		for _, tr := range rt.Triples {
+			if c.Get(lat.Translate(s, tr.Off)) != tr.Src {
+				want = false
+			}
+		}
+		return rt.Enabled(c, s) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

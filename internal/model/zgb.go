@@ -1,0 +1,96 @@
+package model
+
+import "parsurf/internal/lattice"
+
+// Species indices of the CO-oxidation (Ziff–Gulari–Barshad) model,
+// D = {*, CO, O} as in §2 of the paper.
+const (
+	ZGBEmpty lattice.Species = 0
+	ZGBCO    lattice.Species = 1
+	ZGBO     lattice.Species = 2
+)
+
+// ZGBRates are the three rate constants of the paper's example model:
+// CO adsorption, dissociative O2 adsorption and CO2 formation/desorption.
+type ZGBRates struct {
+	KCO  float64
+	KO2  float64
+	KCO2 float64
+}
+
+// DefaultZGBRates places the model in the reactive steady state of the
+// finite-rate ZGB phase diagram (measured: θ_CO ≈ 0.06, θ_O ≈ 0.51,
+// θ_* ≈ 0.43 under exact DMC on a 60×60 lattice).
+func DefaultZGBRates() ZGBRates {
+	return ZGBRates{KCO: 0.55, KO2: 0.275, KCO2: 10}
+}
+
+// NewZGB builds the seven reaction types of Table I of the paper:
+//
+//   - RtCO: one CO adsorption type,
+//   - RtO2: two dissociative O2 adsorption orientations,
+//   - RtCO+O: four CO2 formation/desorption orientations.
+//
+// Note: Table I of the paper prints the fourth RtCO+O orientation as
+// {(s,CO,*),(s+(0,-1),CO,*)}; the second triple's source is a typo for O
+// (the reaction consumes one CO and one O in every orientation, as the
+// text and Fig. 5 state). We implement the corrected pattern.
+//
+// Each O2 orientation carries the full kO2 and each CO+O orientation the
+// full kCO2, matching the paper's convention that every orientation is a
+// separate reaction type with rate constant k_i.
+func NewZGB(r ZGBRates) *Model {
+	axes := lattice.Axes4()
+	m := &Model{Species: []string{"*", "CO", "O"}}
+
+	// RtCO: CO adsorbs on a single vacant site.
+	m.Types = append(m.Types, ReactionType{
+		Name: "RtCO",
+		Rate: r.KCO,
+		Triples: []Triple{
+			{Off: lattice.Vec{}, Src: ZGBEmpty, Tgt: ZGBCO},
+		},
+	})
+
+	// RtO2(0), RtO2(1): O2 dissociates onto two adjacent vacant sites.
+	// Two orientations suffice (east and north); the west/south pairs
+	// are the same reactions applied at the other site.
+	for j, d := range axes[:2] {
+		m.Types = append(m.Types, ReactionType{
+			Name: "RtO2(" + itoa(j) + ")",
+			Rate: r.KO2,
+			Triples: []Triple{
+				{Off: lattice.Vec{}, Src: ZGBEmpty, Tgt: ZGBO},
+				{Off: d, Src: ZGBEmpty, Tgt: ZGBO},
+			},
+		})
+	}
+
+	// RtCO+O(0..3): adjacent CO and O form CO2 and desorb, leaving two
+	// vacancies. Four orientations of the O relative to the CO.
+	for j, d := range axes {
+		m.Types = append(m.Types, ReactionType{
+			Name: "RtCO+O(" + itoa(j) + ")",
+			Rate: r.KCO2,
+			Triples: []Triple{
+				{Off: lattice.Vec{}, Src: ZGBCO, Tgt: ZGBEmpty},
+				{Off: d, Src: ZGBO, Tgt: ZGBEmpty},
+			},
+		})
+	}
+	return m
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,173 @@
+// Package modelfile reads and writes surface-reaction models as plain
+// text, so models can be defined in configuration files instead of Go
+// code (cmd/surfsim accepts them with -modelfile).
+//
+// Format, line oriented; '#' starts a comment; blank lines ignored:
+//
+//	species * CO O
+//	reaction COads  0.55   (0,0): * -> CO
+//	reaction O2adsE 0.275  (0,0): * -> O ; (1,0): * -> O
+//	reaction rxE    10     (0,0): CO -> * ; (1,0): O -> *
+//
+// One "species" line declares the domain D in index order (species 0 is
+// conventionally the vacant site). Each "reaction" line declares a
+// reaction type: a name, a rate constant, and one or more triples
+// "(dx,dy): src -> tgt" separated by semicolons — exactly the paper's
+// (site, source, target) formalism.
+package modelfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"parsurf/internal/lattice"
+	"parsurf/internal/model"
+)
+
+// Parse reads a model definition. Errors carry 1-based line numbers.
+func Parse(r io.Reader) (*model.Model, error) {
+	m := &model.Model{}
+	speciesIdx := map[string]lattice.Species{}
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "species":
+			if len(m.Species) > 0 {
+				return nil, fmt.Errorf("line %d: duplicate species declaration", lineNo)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("line %d: species line declares nothing", lineNo)
+			}
+			for _, name := range fields[1:] {
+				if _, dup := speciesIdx[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate species %q", lineNo, name)
+				}
+				speciesIdx[name] = lattice.Species(len(m.Species))
+				m.Species = append(m.Species, name)
+			}
+		case "reaction":
+			if len(m.Species) == 0 {
+				return nil, fmt.Errorf("line %d: reaction before species declaration", lineNo)
+			}
+			rt, err := parseReaction(strings.TrimSpace(line[len("reaction"):]), speciesIdx)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			m.Types = append(m.Types, *rt)
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parseReaction parses `<name> <rate> <triple> [; <triple>]...`.
+func parseReaction(body string, speciesIdx map[string]lattice.Species) (*model.ReactionType, error) {
+	fields := strings.Fields(body)
+	if len(fields) < 3 {
+		return nil, fmt.Errorf("reaction needs a name, a rate and at least one triple")
+	}
+	name := fields[0]
+	rate, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad rate %q: %v", fields[1], err)
+	}
+	// The triples are everything after the rate token.
+	afterName := strings.TrimSpace(body[strings.Index(body, name)+len(name):])
+	rest := strings.TrimSpace(afterName[strings.Index(afterName, fields[1])+len(fields[1]):])
+
+	rt := &model.ReactionType{Name: name, Rate: rate}
+	for _, part := range strings.Split(rest, ";") {
+		tr, err := parseTriple(strings.TrimSpace(part), speciesIdx)
+		if err != nil {
+			return nil, fmt.Errorf("reaction %q: %w", name, err)
+		}
+		rt.Triples = append(rt.Triples, tr)
+	}
+	return rt, nil
+}
+
+// parseTriple parses `(dx,dy): src -> tgt`.
+func parseTriple(s string, speciesIdx map[string]lattice.Species) (model.Triple, error) {
+	var tr model.Triple
+	if s == "" {
+		return tr, fmt.Errorf("empty triple")
+	}
+	open := strings.IndexByte(s, '(')
+	closeIdx := strings.IndexByte(s, ')')
+	if open != 0 || closeIdx < 0 {
+		return tr, fmt.Errorf("triple %q must start with an offset '(dx,dy)'", s)
+	}
+	coords := strings.Split(s[1:closeIdx], ",")
+	if len(coords) != 2 {
+		return tr, fmt.Errorf("offset %q must be '(dx,dy)'", s[:closeIdx+1])
+	}
+	dx, err := strconv.Atoi(strings.TrimSpace(coords[0]))
+	if err != nil {
+		return tr, fmt.Errorf("bad dx in %q", s)
+	}
+	dy, err := strconv.Atoi(strings.TrimSpace(coords[1]))
+	if err != nil {
+		return tr, fmt.Errorf("bad dy in %q", s)
+	}
+	tr.Off = lattice.Vec{DX: dx, DY: dy}
+
+	rest := strings.TrimSpace(s[closeIdx+1:])
+	rest = strings.TrimPrefix(rest, ":")
+	parts := strings.Split(rest, "->")
+	if len(parts) != 2 {
+		return tr, fmt.Errorf("triple %q needs 'src -> tgt'", s)
+	}
+	srcName := strings.TrimSpace(parts[0])
+	tgtName := strings.TrimSpace(parts[1])
+	src, ok := speciesIdx[srcName]
+	if !ok {
+		return tr, fmt.Errorf("unknown source species %q", srcName)
+	}
+	tgt, ok := speciesIdx[tgtName]
+	if !ok {
+		return tr, fmt.Errorf("unknown target species %q", tgtName)
+	}
+	tr.Src, tr.Tgt = src, tgt
+	return tr, nil
+}
+
+// Format writes the model in the canonical text form Parse accepts.
+func Format(w io.Writer, m *model.Model) error {
+	if _, err := fmt.Fprintf(w, "species %s\n", strings.Join(m.Species, " ")); err != nil {
+		return err
+	}
+	for i := range m.Types {
+		rt := &m.Types[i]
+		parts := make([]string, len(rt.Triples))
+		for j, tr := range rt.Triples {
+			parts[j] = fmt.Sprintf("(%d,%d): %s -> %s",
+				tr.Off.DX, tr.Off.DY, m.Species[tr.Src], m.Species[tr.Tgt])
+		}
+		name := strings.ReplaceAll(rt.Name, " ", "_")
+		if _, err := fmt.Fprintf(w, "reaction %s %g %s\n",
+			name, rt.Rate, strings.Join(parts, " ; ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

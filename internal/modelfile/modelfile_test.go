@@ -1,0 +1,163 @@
+package modelfile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parsurf/internal/model"
+)
+
+const zgbText = `
+# CO oxidation on a square lattice (Table I of the paper)
+species * CO O
+
+reaction COads   0.55   (0,0): * -> CO
+reaction O2adsE  0.275  (0,0): * -> O ; (1,0): * -> O
+reaction O2adsN  0.275  (0,0): * -> O ; (0,1): * -> O
+reaction rxE     10     (0,0): CO -> * ; (1,0):  O -> *
+reaction rxN     10     (0,0): CO -> * ; (0,1):  O -> *
+reaction rxW     10     (0,0): CO -> * ; (-1,0): O -> *
+reaction rxS     10     (0,0): CO -> * ; (0,-1): O -> *
+`
+
+func TestParseZGB(t *testing.T) {
+	m, err := Parse(strings.NewReader(zgbText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Species) != 3 || m.Species[1] != "CO" {
+		t.Fatalf("species = %v", m.Species)
+	}
+	if len(m.Types) != 7 {
+		t.Fatalf("%d reaction types", len(m.Types))
+	}
+	rx := m.TypeByName("rxW")
+	if rx < 0 {
+		t.Fatal("rxW missing")
+	}
+	tr := m.Types[rx].Triples[1]
+	if tr.Off.DX != -1 || tr.Off.DY != 0 || tr.Src != 2 || tr.Tgt != 0 {
+		t.Fatalf("rxW second triple = %+v", tr)
+	}
+	if m.Types[rx].Rate != 10 {
+		t.Fatalf("rxW rate = %v", m.Types[rx].Rate)
+	}
+}
+
+// The parsed file must be structurally equivalent to the built-in ZGB
+// model up to rates and naming.
+func TestParsedZGBMatchesBuiltin(t *testing.T) {
+	parsed, err := Parse(strings.NewReader(zgbText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin := model.NewZGB(model.ZGBRates{KCO: 0.55, KO2: 0.275, KCO2: 10})
+	if parsed.K() != builtin.K() {
+		t.Fatalf("K: parsed %v builtin %v", parsed.K(), builtin.K())
+	}
+	if parsed.MaxPatternRadius() != builtin.MaxPatternRadius() {
+		t.Fatal("radius mismatch")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"reaction before species", "reaction x 1 (0,0): a -> b"},
+		{"unknown directive", "specie * A"},
+		{"empty species", "species"},
+		{"duplicate species decl", "species * A\nspecies * B"},
+		{"duplicate species name", "species * *"},
+		{"missing rate", "species * A\nreaction x"},
+		{"bad rate", "species * A\nreaction x abc (0,0): * -> A"},
+		{"unknown src", "species * A\nreaction x 1 (0,0): B -> A"},
+		{"unknown tgt", "species * A\nreaction x 1 (0,0): * -> B"},
+		{"bad offset", "species * A\nreaction x 1 (0): * -> A"},
+		{"bad dx", "species * A\nreaction x 1 (a,0): * -> A"},
+		{"no arrow", "species * A\nreaction x 1 (0,0): * A"},
+		{"no offset", "species * A\nreaction x 1 * -> A"},
+		{"empty triple", "species * A\nreaction x 1 (0,0): * -> A ;"},
+		{"zero rate fails validate", "species * A\nreaction x 0 (0,0): * -> A"},
+		{"no origin fails validate", "species * A\nreaction x 1 (1,0): * -> A"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.text)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseLineNumbersInErrors(t *testing.T) {
+	text := "species * A\n\n# comment\nreaction x 1 (0,0): * -> Q\n"
+	_, err := Parse(strings.NewReader(text))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error %v should cite line 4", err)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	orig, err := Parse(strings.NewReader(zgbText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Format(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parsing formatted output: %v\n%s", err, buf.String())
+	}
+	if len(back.Types) != len(orig.Types) || len(back.Species) != len(orig.Species) {
+		t.Fatal("round trip changed structure")
+	}
+	for i := range orig.Types {
+		a, b := &orig.Types[i], &back.Types[i]
+		if a.Name != b.Name || a.Rate != b.Rate || len(a.Triples) != len(b.Triples) {
+			t.Fatalf("type %d changed: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Triples {
+			if a.Triples[j] != b.Triples[j] {
+				t.Fatalf("triple %d/%d changed", i, j)
+			}
+		}
+	}
+}
+
+func TestFormatBuiltinModelsRoundTrip(t *testing.T) {
+	// Every built-in model must survive Format → Parse. Names with
+	// parentheses and commas are fine because the name token contains
+	// no whitespace.
+	for name, m := range map[string]*model.Model{
+		"zgb":   model.NewZGB(model.DefaultZGBRates()),
+		"ptco":  model.NewPtCO(model.DefaultPtCORates()),
+		"dimer": model.NewDimerDiffusion(1),
+		"ising": model.NewIsing(0.4),
+	} {
+		var buf bytes.Buffer
+		if err := Format(&buf, m); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(back.Types) != len(m.Types) {
+			t.Fatalf("%s: %d types became %d", name, len(m.Types), len(back.Types))
+		}
+	}
+}
+
+func TestParseIgnoresCommentsAndBlanks(t *testing.T) {
+	text := "  \n# full comment line\nspecies * A # trailing comment\nreaction x 1 (0,0): * -> A # more\n"
+	m, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Species) != 2 || len(m.Types) != 1 {
+		t.Fatalf("parsed %v / %d types", m.Species, len(m.Types))
+	}
+}

@@ -1,0 +1,204 @@
+// Package parallel implements the chunk-parallel DMC approach of Segers
+// et al. that §3 of the paper describes as the prior art its partitioned
+// CA methods are an alternative to: the lattice is decomposed into
+// coherent strips, one worker simulates each strip with RSM, and
+// reactions that touch strip boundaries require synchronisation between
+// neighbours. The paper's observation — that communication overhead
+// makes this profitable only when work per chunk is large relative to
+// the boundary — is what internal/machine quantifies.
+//
+// The MPI communication of the original is rebuilt with goroutines and
+// channels (see DESIGN.md §5): boundary trials are shipped over a
+// channel to a sequential resolution phase, a window-synchronisation
+// scheme used by parallel KMC codes.
+package parallel
+
+import (
+	"fmt"
+	"sync"
+
+	"parsurf/internal/lattice"
+	"parsurf/internal/model"
+	"parsurf/internal/rng"
+)
+
+// DDRSM is the domain-decomposed Random Selection Method. One step is
+// one MC step (N trials): every worker attempts |strip| trials at
+// uniform sites of its strip; trials whose reaction pattern could reach
+// outside the strip's interior are deferred over a channel and executed
+// sequentially after a barrier. Within a window of one step this
+// approximates RSM; the deferral is the accuracy cost of batching the
+// communication.
+type DDRSM struct {
+	cm    *model.Compiled
+	cfg   *lattice.Config
+	cells []lattice.Species
+	src   *rng.Source
+
+	strips []strip
+	radius int
+	time   float64
+
+	// DeterministicTime advances 1/(N·K) per trial instead of Exp(N·K).
+	DeterministicTime bool
+
+	trials    uint64
+	successes uint64
+	deferred  uint64
+	barriers  uint64
+	steps     uint64
+}
+
+type strip struct {
+	loRow, hiRow int // [loRow, hiRow)
+	sites        int
+}
+
+type deferredTrial struct {
+	site int
+	rt   int
+}
+
+// NewDDRSM decomposes the lattice into p horizontal strips. Every strip
+// must be at least 2·radius+1 rows tall so its interior is non-empty.
+func NewDDRSM(cm *model.Compiled, cfg *lattice.Config, src *rng.Source, p int) (*DDRSM, error) {
+	if !cfg.Lattice().SameShape(cm.Lat) {
+		return nil, fmt.Errorf("parallel: configuration lattice differs from compiled lattice")
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("parallel: need at least one strip, got %d", p)
+	}
+	radius := cm.Model.MaxPatternRadius()
+	rows := cm.Lat.L1
+	if rows/p < 2*radius+1 {
+		return nil, fmt.Errorf("parallel: %d rows cannot host %d strips of >= %d rows", rows, p, 2*radius+1)
+	}
+	d := &DDRSM{cm: cm, cfg: cfg, cells: cfg.Cells(), src: src, radius: radius}
+	for w := 0; w < p; w++ {
+		lo := w * rows / p
+		hi := (w + 1) * rows / p
+		d.strips = append(d.strips, strip{loRow: lo, hiRow: hi, sites: (hi - lo) * cm.Lat.L0})
+	}
+	return d, nil
+}
+
+// Workers returns the number of strips.
+func (d *DDRSM) Workers() int { return len(d.strips) }
+
+// interior reports whether a trial at site s stays strictly inside the
+// strip [loRow, hiRow): the pattern radius must not reach the strip
+// edges.
+func (d *DDRSM) interior(st strip, s int) bool {
+	_, y := d.cm.Lat.Coords(s)
+	return y-d.radius >= st.loRow && y+d.radius < st.hiRow
+}
+
+// Step performs one windowed MC step.
+func (d *DDRSM) Step() bool {
+	p := len(d.strips)
+	n := d.cm.Lat.N()
+	nk := float64(n) * d.cm.K
+
+	// Per-step derived streams make the outcome independent of
+	// goroutine scheduling.
+	d.steps++
+	stepBase := d.src.Split(d.steps)
+
+	type result struct {
+		deferredTrials []deferredTrial
+		successes      uint64
+		trials         uint64
+		dt             float64
+	}
+	resCh := make(chan result, p)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := d.strips[w]
+			stream := stepBase.Split(uint64(w))
+			var res result
+			for i := 0; i < st.sites; i++ {
+				row := st.loRow + stream.Intn(st.hiRow-st.loRow)
+				col := stream.Intn(d.cm.Lat.L0)
+				s := d.cm.Lat.Index(col, row)
+				rt := d.cm.PickType(stream.Float64())
+				res.trials++
+				if d.DeterministicTime {
+					res.dt += 1 / nk
+				} else {
+					res.dt += stream.Exp(nk)
+				}
+				if d.interior(st, s) {
+					// Interior trials touch only this strip's rows, so
+					// concurrent execution cannot race with the other
+					// strips.
+					if d.cm.TryExecute(d.cells, rt, s) {
+						res.successes++
+					}
+				} else {
+					res.deferredTrials = append(res.deferredTrials, deferredTrial{site: s, rt: rt})
+				}
+			}
+			resCh <- res
+		}(w)
+	}
+	wg.Wait() // barrier: all interior work done
+	close(resCh)
+	d.barriers++
+
+	// Sequential boundary phase. Results are merged in arrival order of
+	// the channel; to keep the simulation deterministic we re-sort the
+	// deferred trials by (site, rt) — their intra-window order is
+	// unspecified anyway, which is exactly the windowing approximation.
+	var allDeferred []deferredTrial
+	for res := range resCh {
+		d.successes += res.successes
+		d.trials += res.trials
+		d.time += res.dt
+		allDeferred = append(allDeferred, res.deferredTrials...)
+	}
+	sortDeferred(allDeferred)
+	for _, tr := range allDeferred {
+		if d.cm.TryExecute(d.cells, tr.rt, tr.site) {
+			d.successes++
+		}
+	}
+	d.deferred += uint64(len(allDeferred))
+	d.barriers++
+	return true
+}
+
+// sortDeferred orders trials by (site, rt) with an insertion sort; the
+// slices are short (boundary bands only).
+func sortDeferred(ts []deferredTrial) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ts[j-1], ts[j]
+			if a.site < b.site || (a.site == b.site && a.rt <= b.rt) {
+				break
+			}
+			ts[j-1], ts[j] = b, a
+		}
+	}
+}
+
+// Time returns the simulated time.
+func (d *DDRSM) Time() float64 { return d.time }
+
+// Config returns the live configuration.
+func (d *DDRSM) Config() *lattice.Config { return d.cfg }
+
+// Trials returns the attempted trials.
+func (d *DDRSM) Trials() uint64 { return d.trials }
+
+// Successes returns the executed reactions.
+func (d *DDRSM) Successes() uint64 { return d.successes }
+
+// Deferred returns the number of boundary trials shipped to the
+// sequential phase — the communication volume of the decomposition.
+func (d *DDRSM) Deferred() uint64 { return d.deferred }
+
+// Barriers returns the number of synchronisation barriers so far.
+func (d *DDRSM) Barriers() uint64 { return d.barriers }

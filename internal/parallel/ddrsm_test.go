@@ -1,0 +1,163 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+
+	"parsurf/internal/dmc"
+	"parsurf/internal/lattice"
+	"parsurf/internal/model"
+	"parsurf/internal/rng"
+)
+
+func setup(t testing.TB, l int) (*model.Compiled, *lattice.Lattice) {
+	t.Helper()
+	m := model.NewZGB(model.DefaultZGBRates())
+	lat := lattice.NewSquare(l)
+	cm, err := model.Compile(m, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm, lat
+}
+
+func TestDDRSMConstruction(t *testing.T) {
+	cm, lat := setup(t, 24)
+	cfg := lattice.NewConfig(lat)
+	d, err := NewDDRSM(cm, cfg, rng.New(1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Workers() != 4 {
+		t.Fatalf("Workers = %d", d.Workers())
+	}
+	// Too many strips for the rows available.
+	if _, err := NewDDRSM(cm, cfg, rng.New(1), 9); err == nil {
+		t.Fatal("accepted strips thinner than the pattern radius allows")
+	}
+	if _, err := NewDDRSM(cm, cfg, rng.New(1), 0); err == nil {
+		t.Fatal("accepted zero strips")
+	}
+	other := lattice.NewConfig(lattice.NewSquare(12))
+	if _, err := NewDDRSM(cm, other, rng.New(1), 2); err == nil {
+		t.Fatal("accepted mismatched lattice")
+	}
+}
+
+func TestDDRSMStepAccounting(t *testing.T) {
+	cm, lat := setup(t, 24)
+	cfg := lattice.NewConfig(lat)
+	d, _ := NewDDRSM(cm, cfg, rng.New(2), 4)
+	d.Step()
+	if d.Trials() != uint64(lat.N()) {
+		t.Fatalf("trials %d, want %d", d.Trials(), lat.N())
+	}
+	if d.Barriers() != 2 {
+		t.Fatalf("barriers %d, want 2", d.Barriers())
+	}
+	if d.Deferred() == 0 {
+		t.Fatal("no boundary trials on a 4-strip decomposition")
+	}
+	if d.Successes() == 0 {
+		t.Fatal("nothing executed on an empty lattice")
+	}
+	if d.Time() <= 0 {
+		t.Fatal("time did not advance")
+	}
+}
+
+func TestDDRSMDeterministicAcrossRuns(t *testing.T) {
+	cm, lat := setup(t, 24)
+	run := func() *lattice.Config {
+		cfg := lattice.NewConfig(lat)
+		d, _ := NewDDRSM(cm, cfg, rng.New(3), 4)
+		for i := 0; i < 20; i++ {
+			d.Step()
+		}
+		return cfg
+	}
+	a, b := run(), run()
+	if !a.Equal(b) {
+		t.Fatal("goroutine scheduling leaked into the trajectory")
+	}
+}
+
+func TestDDRSMSingleStripMatchesShape(t *testing.T) {
+	// One strip: everything is interior except the wrap-around rows;
+	// kinetics must track RSM closely.
+	cm, lat := setup(t, 40)
+	steady := func(sim dmc.Simulator) float64 {
+		for i := 0; i < 150; i++ {
+			sim.Step()
+		}
+		total := 0.0
+		for i := 0; i < 50; i++ {
+			sim.Step()
+			total += sim.Config().Coverage(model.ZGBCO)
+		}
+		return total / 50
+	}
+	cfgD := lattice.NewConfig(lat)
+	d, _ := NewDDRSM(cm, cfgD, rng.New(4), 1)
+	covD := steady(d)
+	cfgR := lattice.NewConfig(lat)
+	covR := steady(dmc.NewRSM(cm, cfgR, rng.New(5)))
+	if math.Abs(covD-covR) > 0.08 {
+		t.Fatalf("DDRSM(1) steady CO %v vs RSM %v", covD, covR)
+	}
+}
+
+func TestDDRSMParallelTracksRSM(t *testing.T) {
+	cm, lat := setup(t, 40)
+	steady := func(sim dmc.Simulator) float64 {
+		for i := 0; i < 150; i++ {
+			sim.Step()
+		}
+		total := 0.0
+		for i := 0; i < 50; i++ {
+			sim.Step()
+			total += sim.Config().Coverage(model.ZGBCO)
+		}
+		return total / 50
+	}
+	cfgD := lattice.NewConfig(lat)
+	d, _ := NewDDRSM(cm, cfgD, rng.New(6), 5)
+	covD := steady(d)
+	cfgR := lattice.NewConfig(lat)
+	covR := steady(dmc.NewRSM(cm, cfgR, rng.New(7)))
+	if math.Abs(covD-covR) > 0.08 {
+		t.Fatalf("DDRSM(5) steady CO %v vs RSM %v", covD, covR)
+	}
+}
+
+func TestDDRSMDeferredScalesWithStrips(t *testing.T) {
+	cm, lat := setup(t, 40)
+	deferredFor := func(p int) uint64 {
+		cfg := lattice.NewConfig(lat)
+		d, err := NewDDRSM(cm, cfg, rng.New(8), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			d.Step()
+		}
+		return d.Deferred()
+	}
+	d2, d8 := deferredFor(2), deferredFor(8)
+	if d8 <= d2 {
+		t.Fatalf("more strips should defer more boundary trials: p=2 %d, p=8 %d", d2, d8)
+	}
+}
+
+func BenchmarkDDRSMStep(b *testing.B) {
+	cm, lat := setup(b, 64)
+	cfg := lattice.NewConfig(lat)
+	d, err := NewDDRSM(cm, cfg, rng.New(1), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Step()
+	}
+}

@@ -1,0 +1,121 @@
+package partition
+
+import (
+	"fmt"
+
+	"parsurf/internal/lattice"
+	"parsurf/internal/model"
+)
+
+// TypeSplit is the partitioning of Ω×T of §5 of the paper: the reaction
+// type set T is split into subsets T_j, each with an associated site
+// partition that satisfies the per-type non-overlap rule for every type
+// in the subset. Because only one reaction type is swept at a time, the
+// site partitions can be much coarser than the all-types partition (two
+// chunks instead of five for the CO-oxidation model).
+type TypeSplit struct {
+	Model *model.Model
+	// Subsets[j] lists the indices into Model.Types belonging to T_j.
+	Subsets [][]int
+	// Partitions[j] is the site partition used when sweeping a type
+	// from T_j.
+	Partitions []*Partition
+	// SubsetRates[j] is K_Tj, the summed rate of T_j.
+	SubsetRates []float64
+}
+
+// K returns the total rate over all subsets.
+func (ts *TypeSplit) K() float64 {
+	k := 0.0
+	for _, r := range ts.SubsetRates {
+		k += r
+	}
+	return k
+}
+
+// NumSubsets returns |T|, the number of subsets T_j.
+func (ts *TypeSplit) NumSubsets() int { return len(ts.Subsets) }
+
+// Verify checks that every subset's partition satisfies the per-type
+// non-overlap rule for every type in the subset.
+func (ts *TypeSplit) Verify() error {
+	for j, subset := range ts.Subsets {
+		for _, rt := range subset {
+			if err := VerifyNonOverlapType(ts.Partitions[j], &ts.Model.Types[rt]); err != nil {
+				return fmt.Errorf("subset %d type %q: %w", j, ts.Model.Types[rt].Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// SplitByDirection builds the Table II split for models whose reaction
+// patterns are single sites or dominoes (two-site patterns along a
+// lattice axis): types whose pattern fits in a horizontal domino (pure
+// single-site types included) go to T_0, vertically oriented types to
+// T_1. Both subsets use the two-chunk checkerboard partition, which
+// satisfies the per-type rule for any domino orientation.
+//
+// For the CO-oxidation model of Table I this reproduces Table II exactly:
+// T_0 = {RtCO+O(0), RtCO+O(2), RtO2(0), RtCO}, T_1 = {RtCO+O(1),
+// RtCO+O(3), RtO2(1)}.
+func SplitByDirection(m *model.Model, lat *lattice.Lattice) (*TypeSplit, error) {
+	board, err := Checkerboard(lat)
+	if err != nil {
+		return nil, err
+	}
+	ts := &TypeSplit{
+		Model:       m,
+		Subsets:     [][]int{nil, nil},
+		Partitions:  []*Partition{board, board},
+		SubsetRates: []float64{0, 0},
+	}
+	for i := range m.Types {
+		j, err := dominoDirection(&m.Types[i])
+		if err != nil {
+			return nil, err
+		}
+		ts.Subsets[j] = append(ts.Subsets[j], i)
+		ts.SubsetRates[j] += m.Types[i].Rate
+	}
+	if len(ts.Subsets[1]) == 0 {
+		// Purely horizontal/single-site model: collapse to one subset.
+		ts.Subsets = ts.Subsets[:1]
+		ts.Partitions = ts.Partitions[:1]
+		ts.SubsetRates = ts.SubsetRates[:1]
+	}
+	return ts, nil
+}
+
+// dominoDirection classifies a reaction type's pattern: 0 for
+// single-site or horizontal dominoes, 1 for vertical dominoes. A pattern
+// fits a domino when it spans at most two adjacent sites along one axis
+// (spread ≤ 1); anything wider (e.g. a three-site tromino) is an error,
+// because the checkerboard cannot guarantee non-overlap for it.
+func dominoDirection(rt *model.ReactionType) (int, error) {
+	minX, maxX := 0, 0
+	minY, maxY := 0, 0
+	for _, tr := range rt.Triples {
+		if tr.Off.DX < minX {
+			minX = tr.Off.DX
+		}
+		if tr.Off.DX > maxX {
+			maxX = tr.Off.DX
+		}
+		if tr.Off.DY < minY {
+			minY = tr.Off.DY
+		}
+		if tr.Off.DY > maxY {
+			maxY = tr.Off.DY
+		}
+	}
+	spreadX, spreadY := maxX-minX, maxY-minY
+	switch {
+	case spreadY == 0 && spreadX <= 1:
+		return 0, nil
+	case spreadX == 0 && spreadY <= 1:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("partition: reaction %q does not fit a domino", rt.Name)
+	}
+}

@@ -1,0 +1,152 @@
+package persist
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"parsurf/internal/dmc"
+	"parsurf/internal/lattice"
+	"parsurf/internal/model"
+	"parsurf/internal/rng"
+)
+
+func TestRoundTrip(t *testing.T) {
+	lat := lattice.New(7, 5)
+	cfg := lattice.NewConfig(lat)
+	src := rng.New(42)
+	cfg.Randomize([]float64{1, 1, 1}, src.Float64)
+	for i := 0; i < 13; i++ {
+		src.Uint64()
+	}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, cfg, src, 12.5); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Time != 12.5 {
+		t.Fatalf("time %v", cp.Time)
+	}
+	if cp.Config.Lattice().L0 != 7 || cp.Config.Lattice().L1 != 5 {
+		t.Fatal("lattice dims lost")
+	}
+	if !cp.Config.Equal(cfg) {
+		t.Fatal("configuration lost")
+	}
+	// The restored RNG continues the exact sequence.
+	for i := 0; i < 100; i++ {
+		if cp.RNG.Uint64() != src.Uint64() {
+			t.Fatalf("rng sequence diverged at %d", i)
+		}
+	}
+}
+
+// A checkpointed RSM run resumes to the exact same trajectory as an
+// uninterrupted one.
+func TestResumeExactTrajectory(t *testing.T) {
+	m := model.NewZGB(model.DefaultZGBRates())
+	lat := lattice.NewSquare(12)
+	cm := model.MustCompile(m, lat)
+
+	// Uninterrupted reference: 40 steps.
+	refCfg := lattice.NewConfig(lat)
+	ref := dmc.NewRSM(cm, refCfg, rng.New(9))
+	for i := 0; i < 40; i++ {
+		ref.Step()
+	}
+
+	// Interrupted: 25 steps, checkpoint, restore, 15 more.
+	cfg := lattice.NewConfig(lat)
+	src := rng.New(9)
+	r1 := dmc.NewRSM(cm, cfg, src)
+	for i := 0; i < 25; i++ {
+		r1.Step()
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, cfg, src, r1.Time()); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := dmc.NewRSM(cm, cp.Config, cp.RNG)
+	for i := 0; i < 15; i++ {
+		r2.Step()
+	}
+	if !cp.Config.Equal(refCfg) {
+		t.Fatal("resumed trajectory diverged from the uninterrupted run")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	lat := lattice.New(4, 4)
+	cfg := lattice.NewConfig(lat)
+	src := rng.New(1)
+	var buf bytes.Buffer
+	if err := Save(&buf, cfg, src, 1); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", append([]byte("XXXX"), good[4:]...)},
+		{"truncated header", good[:10]},
+		{"truncated cells", good[:len(good)-5]},
+	}
+	for _, c := range cases {
+		if _, err := Load(bytes.NewReader(c.data)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+
+	// Bad version.
+	bad := append([]byte(nil), good...)
+	bad[4] = 99
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+
+	// Implausible dimensions.
+	bad = append([]byte(nil), good...)
+	bad[8], bad[9], bad[10], bad[11] = 0, 0, 0, 0 // l0 = 0
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Error("zero extent accepted")
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	n := len(p)
+	if n > f.after {
+		n = f.after
+	}
+	f.after -= n
+	if n < len(p) {
+		return n, io.ErrClosedPipe
+	}
+	return n, nil
+}
+
+func TestSavePropagatesWriteErrors(t *testing.T) {
+	lat := lattice.New(4, 4)
+	cfg := lattice.NewConfig(lat)
+	src := rng.New(1)
+	for _, after := range []int{0, 3, 8, 30} {
+		if err := Save(&failWriter{after: after}, cfg, src, 1); err == nil {
+			t.Errorf("write failure after %d bytes not propagated", after)
+		}
+	}
+}

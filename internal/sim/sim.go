@@ -1,0 +1,203 @@
+// Package sim provides the observation layer on top of the simulation
+// engines: composable observers that sample coverages, reaction rates
+// and lattice snapshots at fixed simulated-time intervals, plus a
+// steady-state detector. Engines stay minimal (Step/Time/Config); this
+// package owns the bookkeeping every experiment needs.
+package sim
+
+import (
+	"fmt"
+
+	"parsurf/internal/dmc"
+	"parsurf/internal/lattice"
+	"parsurf/internal/stats"
+)
+
+// Observer receives a callback at every sample point.
+type Observer interface {
+	// Observe is called with the current simulated time and the live
+	// configuration. Implementations must not mutate the configuration.
+	Observe(t float64, cfg *lattice.Config)
+}
+
+// Runner drives a simulator and fans samples out to observers.
+type Runner struct {
+	Sim dmc.Simulator
+	// Dt is the sampling interval in simulated time.
+	Dt        float64
+	observers []Observer
+}
+
+// NewRunner returns a runner sampling every dt time units.
+func NewRunner(s dmc.Simulator, dt float64) *Runner {
+	if dt <= 0 {
+		panic("sim: non-positive sampling interval")
+	}
+	return &Runner{Sim: s, Dt: dt}
+}
+
+// Attach registers an observer and returns the runner for chaining.
+func (r *Runner) Attach(obs ...Observer) *Runner {
+	r.observers = append(r.observers, obs...)
+	return r
+}
+
+// Run advances the simulation to tEnd, sampling on the way. It returns
+// the number of samples taken.
+func (r *Runner) Run(tEnd float64) int {
+	samples := 0
+	dmc.Sample(r.Sim, r.Dt, tEnd, func(t float64) {
+		cfg := r.Sim.Config()
+		for _, obs := range r.observers {
+			obs.Observe(t, cfg)
+		}
+		samples++
+	})
+	return samples
+}
+
+// CoverageObserver records one time series per tracked species.
+type CoverageObserver struct {
+	Species []lattice.Species
+	Series  []*stats.Series
+}
+
+// NewCoverageObserver tracks the given species.
+func NewCoverageObserver(species ...lattice.Species) *CoverageObserver {
+	o := &CoverageObserver{Species: species}
+	for range species {
+		o.Series = append(o.Series, &stats.Series{})
+	}
+	return o
+}
+
+// Observe implements Observer.
+func (o *CoverageObserver) Observe(t float64, cfg *lattice.Config) {
+	for i, sp := range o.Species {
+		o.Series[i].Append(t, cfg.Coverage(sp))
+	}
+}
+
+// SeriesFor returns the series of one tracked species.
+func (o *CoverageObserver) SeriesFor(sp lattice.Species) (*stats.Series, error) {
+	for i, s := range o.Species {
+		if s == sp {
+			return o.Series[i], nil
+		}
+	}
+	return nil, fmt.Errorf("sim: species %d not tracked", sp)
+}
+
+// GroupCoverageObserver records a single series summing the coverage of
+// a species group (e.g. CO on both surface phases of the Pt(100)
+// model).
+type GroupCoverageObserver struct {
+	Group  []lattice.Species
+	Series *stats.Series
+}
+
+// NewGroupCoverageObserver sums over the given species.
+func NewGroupCoverageObserver(group ...lattice.Species) *GroupCoverageObserver {
+	return &GroupCoverageObserver{Group: group, Series: &stats.Series{}}
+}
+
+// Observe implements Observer.
+func (o *GroupCoverageObserver) Observe(t float64, cfg *lattice.Config) {
+	total := 0.0
+	for _, sp := range o.Group {
+		total += cfg.Coverage(sp)
+	}
+	o.Series.Append(t, total)
+}
+
+// SnapshotObserver stores deep copies of the configuration at every
+// k-th sample (k=1 stores all).
+type SnapshotObserver struct {
+	Every     int
+	Times     []float64
+	Snapshots []*lattice.Config
+	count     int
+}
+
+// NewSnapshotObserver stores every k-th sample.
+func NewSnapshotObserver(every int) *SnapshotObserver {
+	if every < 1 {
+		every = 1
+	}
+	return &SnapshotObserver{Every: every}
+}
+
+// Observe implements Observer.
+func (o *SnapshotObserver) Observe(t float64, cfg *lattice.Config) {
+	if o.count%o.Every == 0 {
+		o.Times = append(o.Times, t)
+		o.Snapshots = append(o.Snapshots, cfg.Clone())
+	}
+	o.count++
+}
+
+// RateObserver records the net change per unit time of a counter (e.g.
+// reactions executed, CO2 produced) between consecutive samples.
+type RateObserver struct {
+	Counter func() uint64
+	Series  *stats.Series
+
+	lastT float64
+	lastC uint64
+	first bool
+}
+
+// NewRateObserver differentiates the given cumulative counter.
+func NewRateObserver(counter func() uint64) *RateObserver {
+	return &RateObserver{Counter: counter, Series: &stats.Series{}, first: true}
+}
+
+// Observe implements Observer.
+func (o *RateObserver) Observe(t float64, cfg *lattice.Config) {
+	c := o.Counter()
+	if !o.first && t > o.lastT {
+		rate := float64(c-o.lastC) / (t - o.lastT)
+		o.Series.Append(t, rate)
+	}
+	o.first = false
+	o.lastT, o.lastC = t, c
+}
+
+// SteadyState watches a coverage series and reports equilibration: the
+// mean of the last window differs from the mean of the window before it
+// by less than tol.
+type SteadyState struct {
+	Window int
+	Tol    float64
+	values []float64
+}
+
+// NewSteadyState requires two consecutive windows of the given length
+// to agree within tol.
+func NewSteadyState(window int, tol float64) *SteadyState {
+	if window < 1 {
+		panic("sim: non-positive steady-state window")
+	}
+	return &SteadyState{Window: window, Tol: tol}
+}
+
+// Add records a value and reports whether the series has equilibrated.
+func (ss *SteadyState) Add(v float64) bool {
+	ss.values = append(ss.values, v)
+	return ss.Reached()
+}
+
+// Reached reports whether the last two windows agree within Tol.
+func (ss *SteadyState) Reached() bool {
+	n := len(ss.values)
+	if n < 2*ss.Window {
+		return false
+	}
+	recent := stats.Mean(ss.values[n-ss.Window:])
+	prior := stats.Mean(ss.values[n-2*ss.Window : n-ss.Window])
+	diff := recent - prior
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= ss.Tol
+}

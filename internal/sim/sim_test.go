@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"parsurf/internal/dmc"
+	"parsurf/internal/lattice"
+	"parsurf/internal/model"
+	"parsurf/internal/rng"
+)
+
+func zgbSim(t testing.TB, l int, seed uint64) (*dmc.RSM, *lattice.Config) {
+	t.Helper()
+	m := model.NewZGB(model.DefaultZGBRates())
+	lat := lattice.NewSquare(l)
+	cm, err := model.Compile(m, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lattice.NewConfig(lat)
+	return dmc.NewRSM(cm, cfg, rng.New(seed)), cfg
+}
+
+func TestRunnerSamplesAllObservers(t *testing.T) {
+	s, _ := zgbSim(t, 16, 1)
+	cov := NewCoverageObserver(model.ZGBEmpty, model.ZGBCO, model.ZGBO)
+	snap := NewSnapshotObserver(2)
+	r := NewRunner(s, 0.5).Attach(cov, snap)
+	n := r.Run(10)
+	if n < 15 {
+		t.Fatalf("only %d samples", n)
+	}
+	for i, series := range cov.Series {
+		if series.Len() != n {
+			t.Fatalf("series %d has %d points, want %d", i, series.Len(), n)
+		}
+	}
+	if len(snap.Snapshots) != (n+1)/2 {
+		t.Fatalf("%d snapshots for %d samples at every=2", len(snap.Snapshots), n)
+	}
+}
+
+func TestRunnerPanicsOnBadDt(t *testing.T) {
+	s, _ := zgbSim(t, 8, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewRunner(s, 0)
+}
+
+func TestCoverageObserverPartition(t *testing.T) {
+	s, _ := zgbSim(t, 16, 3)
+	cov := NewCoverageObserver(model.ZGBEmpty, model.ZGBCO, model.ZGBO)
+	NewRunner(s, 0.5).Attach(cov).Run(5)
+	for i := 0; i < cov.Series[0].Len(); i++ {
+		sum := cov.Series[0].X[i] + cov.Series[1].X[i] + cov.Series[2].X[i]
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("coverages at sample %d sum to %v", i, sum)
+		}
+	}
+	if _, err := cov.SeriesFor(model.ZGBCO); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cov.SeriesFor(lattice.Species(9)); err == nil {
+		t.Fatal("untracked species found")
+	}
+}
+
+func TestGroupCoverageObserver(t *testing.T) {
+	m := model.NewPtCO(model.DefaultPtCORates())
+	lat := lattice.NewSquare(20)
+	cm := model.MustCompile(m, lat)
+	cfg := lattice.NewConfig(lat)
+	s := dmc.NewVSSM(cm, cfg, rng.New(4))
+	co := NewGroupCoverageObserver(model.PtHexCO, model.PtSqCO)
+	NewRunner(s, 0.5).Attach(co).Run(5)
+	if co.Series.Len() == 0 {
+		t.Fatal("no samples")
+	}
+	// Spot-check the last sample against PtCoverages.
+	wantCO, _, _ := model.PtCoverages(cfg)
+	got := co.Series.X[co.Series.Len()-1]
+	if math.Abs(got-wantCO) > 1e-12 {
+		t.Fatalf("group coverage %v, want %v", got, wantCO)
+	}
+}
+
+func TestSnapshotObserverDeepCopies(t *testing.T) {
+	s, cfg := zgbSim(t, 8, 5)
+	snap := NewSnapshotObserver(1)
+	NewRunner(s, 0.5).Attach(snap).Run(3)
+	if len(snap.Snapshots) < 2 {
+		t.Fatal("too few snapshots")
+	}
+	// Mutating the live config must not touch stored snapshots.
+	before := snap.Snapshots[0].Clone()
+	cfg.Fill(2)
+	if !snap.Snapshots[0].Equal(before) {
+		t.Fatal("snapshot aliases the live configuration")
+	}
+	if len(snap.Times) != len(snap.Snapshots) {
+		t.Fatal("times/snapshots length mismatch")
+	}
+}
+
+func TestRateObserver(t *testing.T) {
+	s, _ := zgbSim(t, 16, 6)
+	rate := NewRateObserver(s.Successes)
+	NewRunner(s, 0.5).Attach(rate).Run(10)
+	if rate.Series.Len() == 0 {
+		t.Fatal("no rate samples")
+	}
+	for _, v := range rate.Series.X {
+		if v < 0 {
+			t.Fatal("negative rate from a cumulative counter")
+		}
+	}
+	// The ZGB steady state keeps reacting: the late-time rate must be
+	// positive.
+	if rate.Series.X[rate.Series.Len()-1] <= 0 {
+		t.Fatal("reaction rate died in the reactive window")
+	}
+}
+
+func TestSteadyStateDetector(t *testing.T) {
+	ss := NewSteadyState(5, 0.01)
+	// Ramp: never steady while rising fast.
+	for i := 0; i < 10; i++ {
+		if ss.Add(float64(i)) {
+			t.Fatalf("steady claimed on a ramp at %d", i)
+		}
+	}
+	// Plateau: becomes steady after two windows.
+	steadyAt := -1
+	for i := 0; i < 12; i++ {
+		if ss.Add(9.0) && steadyAt == -1 {
+			steadyAt = i
+		}
+	}
+	if steadyAt == -1 {
+		t.Fatal("plateau never detected")
+	}
+}
+
+func TestSteadyStatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSteadyState(0, 0.1)
+}
+
+func TestSteadyStateWithSimulation(t *testing.T) {
+	// The ZGB model reaches its reactive steady state; the detector
+	// must fire within a reasonable horizon.
+	s, cfg := zgbSim(t, 24, 7)
+	ss := NewSteadyState(10, 0.02)
+	steady := false
+	for i := 0; i < 400 && !steady; i++ {
+		s.Step()
+		steady = ss.Add(cfg.Coverage(model.ZGBO))
+	}
+	if !steady {
+		t.Fatal("steady state never detected in 400 MC steps")
+	}
+}

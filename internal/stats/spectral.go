@@ -1,0 +1,115 @@
+package stats
+
+import "math"
+
+// Periodogram computes the discrete-Fourier power spectrum of the
+// (mean-removed) samples at frequencies k/(n·dt), k = 1..n/2. It
+// returns the power values and the corresponding frequencies. The
+// direct O(n²) evaluation is fine at the series lengths the
+// experiments use (≤ a few thousand samples) and keeps the package
+// stdlib-only.
+func Periodogram(xs []float64, dt float64) (power, freq []float64) {
+	n := len(xs)
+	if n < 4 || dt <= 0 {
+		return nil, nil
+	}
+	mean := Mean(xs)
+	half := n / 2
+	power = make([]float64, half)
+	freq = make([]float64, half)
+	for k := 1; k <= half; k++ {
+		var re, im float64
+		w := 2 * math.Pi * float64(k) / float64(n)
+		for j, x := range xs {
+			angle := w * float64(j)
+			re += (x - mean) * math.Cos(angle)
+			im += (x - mean) * math.Sin(angle)
+		}
+		power[k-1] = (re*re + im*im) / float64(n)
+		freq[k-1] = float64(k) / (float64(n) * dt)
+	}
+	return power, freq
+}
+
+// DominantPeriod returns the period of the strongest periodogram peak
+// of the series (resampled to n points) and that peak's share of the
+// total spectral power. ok is false for series too short to analyse.
+func DominantPeriod(s *Series, n int) (period, share float64, ok bool) {
+	if s.Len() < 8 {
+		return 0, 0, false
+	}
+	lo, hi := s.T[0], s.T[s.Len()-1]
+	if hi <= lo {
+		return 0, 0, false
+	}
+	dt := (hi - lo) / float64(n-1)
+	xs := s.Resample(lo, hi, n)
+	power, freq := Periodogram(xs, dt)
+	if len(power) == 0 {
+		return 0, 0, false
+	}
+	total, best, bestIdx := 0.0, 0.0, -1
+	for i, p := range power {
+		total += p
+		if p > best {
+			best, bestIdx = p, i
+		}
+	}
+	if total == 0 || bestIdx < 0 {
+		return 0, 0, false
+	}
+	return 1 / freq[bestIdx], best / total, true
+}
+
+// BlockingError estimates the standard error of the mean of correlated
+// samples by Flyvbjerg–Petersen blocking: the series is repeatedly
+// halved by averaging neighbour pairs; the error estimate at each level
+// is reported and the maximum (the plateau value) returned. Returns 0
+// for fewer than 8 samples.
+func BlockingError(xs []float64) float64 {
+	n := len(xs)
+	if n < 8 {
+		return 0
+	}
+	data := append([]float64(nil), xs...)
+	best := 0.0
+	for len(data) >= 4 {
+		m := len(data)
+		mean := Mean(data)
+		varSum := 0.0
+		for _, x := range data {
+			varSum += (x - mean) * (x - mean)
+		}
+		// Error of the mean at this blocking level.
+		se := math.Sqrt(varSum / float64(m) / float64(m-1))
+		if se > best {
+			best = se
+		}
+		half := m / 2
+		next := make([]float64, half)
+		for i := 0; i < half; i++ {
+			next[i] = (data[2*i] + data[2*i+1]) / 2
+		}
+		data = next
+	}
+	return best
+}
+
+// EffectiveSampleSize estimates the number of independent samples in a
+// correlated series via the integrated autocorrelation time
+// (τ = 1 + 2·Σ acf, summed until the first non-positive value).
+func EffectiveSampleSize(xs []float64) float64 {
+	n := len(xs)
+	if n < 4 {
+		return float64(n)
+	}
+	acf := Autocorrelation(xs, n/2)
+	tau := 1.0
+	for _, a := range acf[1:] {
+		if a <= 0 {
+			break
+		}
+		tau += 2 * a
+	}
+	return float64(n) / tau
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"parsurf/internal/rng"
+)
+
+func TestPeriodogramFindsSine(t *testing.T) {
+	const n = 512
+	dt := 0.5
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) * dt / 16) // period 16
+	}
+	power, freq := Periodogram(xs, dt)
+	best, bestIdx := 0.0, -1
+	for i, p := range power {
+		if p > best {
+			best, bestIdx = p, i
+		}
+	}
+	got := 1 / freq[bestIdx]
+	if math.Abs(got-16)/16 > 0.05 {
+		t.Fatalf("dominant period %v, want 16", got)
+	}
+}
+
+func TestPeriodogramDegenerate(t *testing.T) {
+	if p, f := Periodogram([]float64{1, 2}, 1); p != nil || f != nil {
+		t.Fatal("short input not rejected")
+	}
+	if p, _ := Periodogram(make([]float64, 16), 0); p != nil {
+		t.Fatal("zero dt not rejected")
+	}
+}
+
+func TestDominantPeriod(t *testing.T) {
+	s := &Series{}
+	for i := 0; i <= 2000; i++ {
+		tt := float64(i) * 0.1
+		s.Append(tt, 0.5+0.2*math.Sin(2*math.Pi*tt/14))
+	}
+	period, share, ok := DominantPeriod(s, 1024)
+	if !ok {
+		t.Fatal("not detected")
+	}
+	if math.Abs(period-14)/14 > 0.06 {
+		t.Fatalf("period %v, want 14", period)
+	}
+	// A non-integer number of cycles leaks power into neighbouring
+	// bins; the dominant bin still carries well over half.
+	if share < 0.5 {
+		t.Fatalf("pure sine share %v", share)
+	}
+}
+
+func TestDominantPeriodWhiteNoiseLowShare(t *testing.T) {
+	src := rng.New(4)
+	s := &Series{}
+	for i := 0; i <= 2000; i++ {
+		s.Append(float64(i)*0.1, src.Float64())
+	}
+	_, share, ok := DominantPeriod(s, 1024)
+	if ok && share > 0.2 {
+		t.Fatalf("white noise claims dominant share %v", share)
+	}
+}
+
+func TestDominantPeriodShortSeries(t *testing.T) {
+	s := &Series{}
+	s.Append(0, 1)
+	s.Append(1, 2)
+	if _, _, ok := DominantPeriod(s, 64); ok {
+		t.Fatal("short series accepted")
+	}
+}
+
+func TestBlockingErrorIID(t *testing.T) {
+	// For i.i.d. samples blocking reproduces the naive standard error.
+	src := rng.New(5)
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = src.Float64()
+	}
+	naive := math.Sqrt(Variance(xs) / float64(len(xs)))
+	blocked := BlockingError(xs)
+	if blocked < naive*0.8 || blocked > naive*2.0 {
+		t.Fatalf("iid blocking error %v vs naive %v", blocked, naive)
+	}
+}
+
+func TestBlockingErrorCorrelated(t *testing.T) {
+	// Strongly correlated samples: the naive error underestimates;
+	// blocking must report a larger value.
+	src := rng.New(6)
+	xs := make([]float64, 4096)
+	x := 0.0
+	for i := range xs {
+		x = 0.95*x + src.Float64() - 0.5
+		xs[i] = x
+	}
+	naive := math.Sqrt(Variance(xs) / float64(len(xs)))
+	blocked := BlockingError(xs)
+	if blocked < 2*naive {
+		t.Fatalf("correlated blocking error %v not above naive %v", blocked, naive)
+	}
+}
+
+func TestBlockingErrorShort(t *testing.T) {
+	if BlockingError([]float64{1, 2, 3}) != 0 {
+		t.Fatal("short input should yield 0")
+	}
+}
+
+func TestEffectiveSampleSize(t *testing.T) {
+	src := rng.New(7)
+	iid := make([]float64, 2048)
+	for i := range iid {
+		iid[i] = src.Float64()
+	}
+	essIID := EffectiveSampleSize(iid)
+	if essIID < 1000 {
+		t.Fatalf("iid ESS %v of 2048", essIID)
+	}
+	corr := make([]float64, 2048)
+	x := 0.0
+	for i := range corr {
+		x = 0.9*x + src.Float64() - 0.5
+		corr[i] = x
+	}
+	essCorr := EffectiveSampleSize(corr)
+	if essCorr >= essIID/3 {
+		t.Fatalf("correlated ESS %v not well below iid %v", essCorr, essIID)
+	}
+}

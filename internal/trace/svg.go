@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"parsurf/internal/stats"
+)
+
+// SVGOptions configure WriteSVG.
+type SVGOptions struct {
+	Width, Height int      // pixel dimensions (default 640×360)
+	Title         string   // optional chart title
+	Labels        []string // one legend label per series
+}
+
+// svgColours cycles through distinguishable stroke colours.
+var svgColours = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+}
+
+// WriteSVG renders the series as a standalone SVG line chart spanning
+// the union of the series' time ranges. It is the publication-grade
+// counterpart of ASCIIPlot for the experiment harness.
+func WriteSVG(w io.Writer, opt SVGOptions, series ...*stats.Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("trace: no series")
+	}
+	for i, s := range series {
+		if s.Len() < 2 {
+			return fmt.Errorf("trace: series %d has fewer than 2 points", i)
+		}
+	}
+	width, height := opt.Width, opt.Height
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 360
+	}
+	const margin = 45
+
+	tmin, tmax := series[0].T[0], series[0].T[series[0].Len()-1]
+	ymin, ymax := stats.MinMax(series[0].X)
+	for _, s := range series[1:] {
+		if s.T[0] < tmin {
+			tmin = s.T[0]
+		}
+		if s.T[s.Len()-1] > tmax {
+			tmax = s.T[s.Len()-1]
+		}
+		lo, hi := stats.MinMax(s.X)
+		if lo < ymin {
+			ymin = lo
+		}
+		if hi > ymax {
+			ymax = hi
+		}
+	}
+	if tmax == tmin {
+		tmax = tmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	plotW := float64(width - 2*margin)
+	plotH := float64(height - 2*margin)
+	px := func(t float64) float64 { return float64(margin) + (t-tmin)/(tmax-tmin)*plotW }
+	py := func(y float64) float64 { return float64(height-margin) - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if opt.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">%s</text>`+"\n",
+			width/2, escapeXML(opt.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, height-margin, width-margin, height-margin)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, margin, margin, height-margin)
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%.3g</text>`+"\n",
+		margin-40, height-margin+4, ymin)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%.3g</text>`+"\n",
+		margin-40, margin+4, ymax)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%.3g</text>`+"\n",
+		margin, height-margin+16, tmin)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" text-anchor="end">%.3g</text>`+"\n",
+		width-margin, height-margin+16, tmax)
+
+	for si, s := range series {
+		colour := svgColours[si%len(svgColours)]
+		var path strings.Builder
+		for i := 0; i < s.Len(); i++ {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.2f %.2f ", cmd, px(s.T[i]), py(s.X[i]))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.TrimSpace(path.String()), colour)
+		if si < len(opt.Labels) {
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" fill="%s">%s</text>`+"\n",
+				width-margin-120, margin+15*(si+1), colour, escapeXML(opt.Labels[si]))
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parsurf/internal/stats"
+)
+
+func TestWriteSVGBasics(t *testing.T) {
+	a := mkSeries(0, 0, 5, 1, 10, 0.5)
+	b := mkSeries(0, 1, 10, 0)
+	var buf bytes.Buffer
+	err := WriteSVG(&buf, SVGOptions{Title: "CO <coverage>", Labels: []string{"rsm", "pndca"}}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>",
+		"CO &lt;coverage&gt;", // escaped title
+		"rsm", "pndca",
+		"#1f77b4", "#d62728", // two series colours
+		`d="M`, // at least one path
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if n := strings.Count(out, "<path"); n != 2 {
+		t.Errorf("%d paths, want 2", n)
+	}
+}
+
+func TestWriteSVGDefaultsAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, SVGOptions{}); err == nil {
+		t.Fatal("no series accepted")
+	}
+	short := &stats.Series{}
+	short.Append(0, 1)
+	if err := WriteSVG(&buf, SVGOptions{}, short); err == nil {
+		t.Fatal("single-point series accepted")
+	}
+	buf.Reset()
+	if err := WriteSVG(&buf, SVGOptions{}, mkSeries(0, 0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `width="640"`) {
+		t.Fatal("default width not applied")
+	}
+}
+
+func TestWriteSVGConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, SVGOptions{}, mkSeries(0, 0.5, 10, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// No NaN coordinates from the degenerate y-range.
+	if strings.Contains(out, "NaN") {
+		t.Fatal("NaN coordinates in SVG")
+	}
+}

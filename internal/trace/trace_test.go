@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parsurf/internal/lattice"
+	"parsurf/internal/stats"
+)
+
+func mkSeries(points ...float64) *stats.Series {
+	s := &stats.Series{}
+	for i := 0; i+1 < len(points); i += 2 {
+		s.Append(points[i], points[i+1])
+	}
+	return s
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := mkSeries(0, 1, 1, 2, 2, 3)
+	b := mkSeries(0, 10, 2, 30)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"t", "a", "b"}, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if lines[0] != "t,a,b" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[2] != "1,2,20" { // b interpolated at t=1
+		t.Fatalf("row %q", lines[2])
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"t"}); err == nil {
+		t.Fatal("no series accepted")
+	}
+	if err := WriteCSV(&buf, []string{"t"}, mkSeries(0, 1)); err == nil {
+		t.Fatal("wrong name count accepted")
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	s := mkSeries(0, 0, 5, 1, 10, 0)
+	out := ASCIIPlot(10, 40, "*", s)
+	if out == "" {
+		t.Fatal("empty plot")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no marks plotted")
+	}
+	if !strings.Contains(out, "1.000") || !strings.Contains(out, "0.000") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+	// Degenerate inputs return empty rather than panicking.
+	if ASCIIPlot(1, 40, "*", s) != "" || ASCIIPlot(10, 1, "*", s) != "" || ASCIIPlot(10, 10, "*") != "" {
+		t.Fatal("degenerate plot not empty")
+	}
+}
+
+func TestASCIIPlotOverlay(t *testing.T) {
+	a := mkSeries(0, 0, 10, 1)
+	b := mkSeries(0, 1, 10, 0)
+	out := ASCIIPlot(8, 30, "ox", a, b)
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatalf("overlay marks missing:\n%s", out)
+	}
+}
+
+func TestASCIIPlotConstantSeries(t *testing.T) {
+	s := mkSeries(0, 0.5, 10, 0.5)
+	if out := ASCIIPlot(5, 20, "*", s); out == "" {
+		t.Fatal("constant series plot empty")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	lat := lattice.New(4, 3)
+	c := lattice.NewConfig(lat)
+	c.Set(0, 1)
+	c.Set(5, 2)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, c, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n4 3\n255\n")) {
+		t.Fatalf("header: %q", out[:12])
+	}
+	pixels := out[len("P5\n4 3\n255\n"):]
+	if len(pixels) != 12 {
+		t.Fatalf("%d pixels", len(pixels))
+	}
+	if pixels[0] != 127 { // species 1 of 3 -> mid grey
+		t.Fatalf("pixel 0 = %d", pixels[0])
+	}
+	if pixels[5] != 255 { // species 2 of 3 -> white
+		t.Fatalf("pixel 5 = %d", pixels[5])
+	}
+	if pixels[1] != 0 {
+		t.Fatalf("vacant pixel = %d", pixels[1])
+	}
+}
+
+func TestWritePGMClampsSpecies(t *testing.T) {
+	lat := lattice.New(2, 1)
+	c := lattice.NewConfig(lat)
+	c.Set(0, 9)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, c, 3); err != nil {
+		t.Fatal(err)
+	}
+	pixels := buf.Bytes()[len("P5\n2 1\n255\n"):]
+	if pixels[0] != 255 {
+		t.Fatalf("out-of-range species pixel = %d", pixels[0])
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"b", "22222"},
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "name ") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "-----") {
+		t.Fatalf("separator %q", lines[1])
+	}
+}

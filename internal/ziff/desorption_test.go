@@ -1,0 +1,124 @@
+package ziff
+
+import (
+	"testing"
+
+	"parsurf/internal/lattice"
+	"parsurf/internal/rng"
+)
+
+func TestDesorptionValidates(t *testing.T) {
+	lat := lattice.NewSquare(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pdes > 1 accepted")
+		}
+	}()
+	NewWithDesorption(lat, rng.New(1), 0.5, 1.5)
+}
+
+func TestDesorptionRemovesCOPoisoning(t *testing.T) {
+	// Plain ZGB at y=0.7 CO-poisons; with desorption vacancies keep
+	// appearing and CO2 keeps being produced.
+	lat := lattice.NewSquare(16)
+	plain := New(lat, rng.New(2), 0.7)
+	for i := 0; i < 400; i++ {
+		plain.Step()
+	}
+	if !plain.Poisoned() {
+		t.Fatal("plain ZGB did not poison at y=0.7 (precondition)")
+	}
+
+	lat2 := lattice.NewSquare(16)
+	des := NewWithDesorption(lat2, rng.New(2), 0.7, 0.05)
+	for i := 0; i < 400; i++ {
+		des.Step()
+	}
+	if des.Poisoned() {
+		t.Fatal("desorbing system reached full coverage permanently")
+	}
+	before := des.CO2Count()
+	for i := 0; i < 50; i++ {
+		des.Step()
+	}
+	if des.CO2Count() == before {
+		t.Fatal("no CO2 production with desorption at y=0.7")
+	}
+}
+
+func TestDesorptionZeroMatchesPlain(t *testing.T) {
+	// pdes=0 must reproduce the plain dynamics draw for draw.
+	latA := lattice.NewSquare(12)
+	a := New(latA, rng.New(3), 0.5)
+	latB := lattice.NewSquare(12)
+	b := NewWithDesorption(latB, rng.New(3), 0.5, 0)
+	for i := 0; i < 20; i++ {
+		a.Step()
+		b.Step()
+	}
+	if !a.Config().Equal(b.Config()) {
+		t.Fatal("pdes=0 diverged from plain ZGB")
+	}
+}
+
+func TestHysteresisScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hysteresis scan is slow")
+	}
+	ys := []float64{0.48, 0.51, 0.54, 0.57}
+	up, down := HysteresisScan(24, ys, 0.01, 150, 50, 4)
+	if len(up) != len(ys) || len(down) != len(ys) {
+		t.Fatalf("branch lengths %d/%d", len(up), len(down))
+	}
+	// The down branch is in reversed y order.
+	if down[0].Y != ys[len(ys)-1] || down[len(down)-1].Y != ys[0] {
+		t.Fatalf("down branch order: %v", down)
+	}
+	// The up branch starts reactive and ends CO-rich.
+	if up[0].CoCO > 0.5 {
+		t.Fatalf("up branch CO at y=%.2f is %v", up[0].Y, up[0].CoCO)
+	}
+	if up[len(up)-1].CoCO < 0.5 {
+		t.Fatalf("up branch not CO-rich at y=%.2f: %v", ys[len(ys)-1], up[len(up)-1].CoCO)
+	}
+	// First-order hysteresis: with weak desorption the down branch stays
+	// in the metastable CO-rich state at intermediate y, so its CO
+	// coverage dominates the up branch's there.
+	hysteretic := false
+	for i, p := range down {
+		upAtY := up[len(up)-1-i]
+		if p.Y != upAtY.Y {
+			t.Fatalf("branch y mismatch: %v vs %v", p.Y, upAtY.Y)
+		}
+		if p.CoCO > upAtY.CoCO+0.2 {
+			hysteretic = true
+		}
+		if p.CoCO < upAtY.CoCO-0.2 {
+			t.Fatalf("down branch below up branch at y=%.2f: %v vs %v", p.Y, p.CoCO, upAtY.CoCO)
+		}
+	}
+	if !hysteretic {
+		t.Fatal("no hysteresis gap between the branches")
+	}
+}
+
+func TestStrongDesorptionClosesHysteresis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hysteresis scan is slow")
+	}
+	// With strong desorption the CO-rich state is not metastable: the
+	// branches coincide within noise.
+	ys := []float64{0.48, 0.52, 0.56}
+	up, down := HysteresisScan(24, ys, 0.1, 200, 60, 5)
+	for i, p := range down {
+		upAtY := up[len(up)-1-i]
+		diff := p.CoCO - upAtY.CoCO
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.25 {
+			t.Fatalf("strong desorption left a hysteresis gap at y=%.2f: %v vs %v",
+				p.Y, p.CoCO, upAtY.CoCO)
+		}
+	}
+}

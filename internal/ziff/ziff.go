@@ -1,0 +1,221 @@
+// Package ziff implements the original Ziff–Gulari–Barshad surface
+// reaction model (Phys. Rev. Lett. 56, 2553, cited as the paper's
+// example system) in its classic adsorption-limited form: CO and O2
+// impinge with probabilities y and 1−y, adsorb on vacant sites, and
+// adsorbed CO and O on adjacent sites react *instantaneously* to CO2.
+//
+// This is the infinite-reaction-rate limit of the finite-rate model in
+// internal/model; it is the standard formulation whose kinetic phase
+// diagram has an O-poisoned phase below y1 ≈ 0.39, a reactive window,
+// and a CO-poisoned phase above y2 ≈ 0.525 (first-order transition).
+// The package provides the sweep the paper's introduction refers to
+// ("experimental data for the simulation of Ziff model").
+package ziff
+
+import (
+	"fmt"
+
+	"parsurf/internal/lattice"
+	"parsurf/internal/rng"
+)
+
+// Species on the ZGB lattice.
+const (
+	Empty lattice.Species = 0
+	CO    lattice.Species = 1
+	O     lattice.Species = 2
+)
+
+// ZGB is the classic adsorption-limited simulation.
+type ZGB struct {
+	lat *lattice.Lattice
+	cfg *lattice.Config
+	src *rng.Source
+
+	// Y is the CO fraction of the impinging gas.
+	Y float64
+
+	trials uint64
+	co2    uint64
+	nbOff  []lattice.Vec
+}
+
+// New returns a ZGB simulation with CO fraction y on an empty lattice.
+func New(lat *lattice.Lattice, src *rng.Source, y float64) *ZGB {
+	if y < 0 || y > 1 {
+		panic(fmt.Sprintf("ziff: CO fraction %v outside [0,1]", y))
+	}
+	return &ZGB{
+		lat:   lat,
+		cfg:   lattice.NewConfig(lat),
+		src:   src,
+		Y:     y,
+		nbOff: lattice.Axes4(),
+	}
+}
+
+// Config returns the live configuration.
+func (z *ZGB) Config() *lattice.Config { return z.cfg }
+
+// Time returns the elapsed Monte Carlo steps (trials/N).
+func (z *ZGB) Time() float64 { return float64(z.trials) / float64(z.lat.N()) }
+
+// CO2Count returns the number of CO2 molecules produced.
+func (z *ZGB) CO2Count() uint64 { return z.co2 }
+
+// reactWithNeighbour looks for partner species around site s; if any
+// neighbour holds it, one is chosen uniformly and both sites are
+// vacated. Reports whether a reaction fired.
+func (z *ZGB) reactWithNeighbour(s int, partner lattice.Species) bool {
+	var candidates [4]int
+	n := 0
+	for _, d := range z.nbOff {
+		t := z.lat.Translate(s, d)
+		if z.cfg.Get(t) == partner {
+			candidates[n] = t
+			n++
+		}
+	}
+	if n == 0 {
+		return false
+	}
+	t := candidates[z.src.Intn(n)]
+	z.cfg.Set(s, Empty)
+	z.cfg.Set(t, Empty)
+	z.co2++
+	return true
+}
+
+// Trial performs one ZGB trial.
+func (z *ZGB) Trial() {
+	z.trials++
+	s := z.src.Intn(z.lat.N())
+	if z.src.Float64() < z.Y {
+		// CO impingement.
+		if z.cfg.Get(s) != Empty {
+			return
+		}
+		z.cfg.Set(s, CO)
+		z.reactWithNeighbour(s, O)
+		return
+	}
+	// O2 impingement onto s and a random neighbour.
+	t := z.lat.Translate(s, z.nbOff[z.src.Intn(4)])
+	if z.cfg.Get(s) != Empty || z.cfg.Get(t) != Empty {
+		return
+	}
+	z.cfg.Set(s, O)
+	z.cfg.Set(t, O)
+	// Each nascent O scans for CO; order randomised to avoid bias.
+	first, second := s, t
+	if z.src.Bernoulli(0.5) {
+		first, second = t, s
+	}
+	z.reactWithNeighbour(first, CO)
+	if z.cfg.Get(second) == O {
+		z.reactWithNeighbour(second, CO)
+	}
+}
+
+// Step performs one MC step (N trials). It always reports true; poisoned
+// lattices simply stop reacting.
+func (z *ZGB) Step() bool {
+	for i := 0; i < z.lat.N(); i++ {
+		z.Trial()
+	}
+	return true
+}
+
+// Poisoned reports whether the lattice is fully covered and inert:
+// no vacancies and no adjacent CO/O pair (with instantaneous reaction,
+// full coverage by a single species).
+func (z *ZGB) Poisoned() bool {
+	return z.cfg.Count(Empty) == 0
+}
+
+// PhasePoint is one measured point of the phase diagram.
+type PhasePoint struct {
+	Y        float64
+	CoCO     float64 // CO coverage
+	CoO      float64 // O coverage
+	CoEmpty  float64 // vacancy fraction
+	Rate     float64 // CO2 production per site per MCS over the window
+	Poisoned bool
+}
+
+// Measure runs a fresh simulation at CO fraction y: equil MC steps of
+// relaxation, then measure MC steps of averaging. It stops early when
+// the lattice poisons.
+func Measure(l int, y float64, equil, measure int, seed uint64) PhasePoint {
+	lat := lattice.NewSquare(l)
+	z := New(lat, rng.New(seed), y)
+	for i := 0; i < equil && !z.Poisoned(); i++ {
+		z.Step()
+	}
+	var sumCO, sumO, sumE float64
+	co2Before := z.CO2Count()
+	steps := 0
+	for i := 0; i < measure; i++ {
+		z.Step()
+		steps++
+		sumCO += z.cfg.Coverage(CO)
+		sumO += z.cfg.Coverage(O)
+		sumE += z.cfg.Coverage(Empty)
+		if z.Poisoned() {
+			break
+		}
+	}
+	pt := PhasePoint{Y: y, Poisoned: z.Poisoned()}
+	if steps > 0 {
+		pt.CoCO = sumCO / float64(steps)
+		pt.CoO = sumO / float64(steps)
+		pt.CoEmpty = sumE / float64(steps)
+		pt.Rate = float64(z.CO2Count()-co2Before) / float64(steps) / float64(lat.N())
+	} else {
+		pt.CoCO = z.cfg.Coverage(CO)
+		pt.CoO = z.cfg.Coverage(O)
+		pt.CoEmpty = z.cfg.Coverage(Empty)
+	}
+	return pt
+}
+
+// Sweep measures the phase diagram at each CO fraction in ys.
+func Sweep(l int, ys []float64, equil, measure int, seed uint64) []PhasePoint {
+	out := make([]PhasePoint, len(ys))
+	for i, y := range ys {
+		out[i] = Measure(l, y, equil, measure, seed+uint64(i))
+	}
+	return out
+}
+
+// Transitions estimates the kinetic phase transition points from a
+// sweep ordered by increasing y: y1 is the midpoint between the last
+// O-poisoned point (O coverage > 0.99) and the first reactive point;
+// y2 the midpoint between the last reactive point and the first
+// CO-poisoned one (CO coverage > 0.99). Returns NaN-free values only
+// when both phases appear in the sweep; ok reports that.
+func Transitions(points []PhasePoint) (y1, y2 float64, ok bool) {
+	lastO, firstReactive := -1, -1
+	lastReactive, firstCO := -1, -1
+	for i, p := range points {
+		switch {
+		case p.CoO > 0.99:
+			lastO = i
+		case p.CoCO > 0.99:
+			if firstCO == -1 {
+				firstCO = i
+			}
+		default:
+			if firstReactive == -1 {
+				firstReactive = i
+			}
+			lastReactive = i
+		}
+	}
+	if lastO == -1 || firstReactive == -1 || lastReactive == -1 || firstCO == -1 {
+		return 0, 0, false
+	}
+	y1 = (points[lastO].Y + points[firstReactive].Y) / 2
+	y2 = (points[lastReactive].Y + points[firstCO].Y) / 2
+	return y1, y2, true
+}

@@ -1,0 +1,131 @@
+package ziff
+
+import (
+	"testing"
+
+	"parsurf/internal/lattice"
+	"parsurf/internal/rng"
+)
+
+func TestNewValidatesY(t *testing.T) {
+	lat := lattice.NewSquare(8)
+	for _, y := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("y=%v accepted", y)
+				}
+			}()
+			New(lat, rng.New(1), y)
+		}()
+	}
+}
+
+func TestInstantaneousReaction(t *testing.T) {
+	// Adjacent CO and O can never coexist after a trial completes.
+	lat := lattice.NewSquare(16)
+	z := New(lat, rng.New(2), 0.5)
+	for step := 0; step < 50; step++ {
+		z.Step()
+		cfg := z.Config()
+		for s := 0; s < lat.N(); s++ {
+			if cfg.Get(s) != CO {
+				continue
+			}
+			for _, d := range lattice.Axes4() {
+				if cfg.Get(lat.Translate(s, d)) == O {
+					t.Fatalf("adjacent CO/O pair survived at step %d", step)
+				}
+			}
+		}
+	}
+}
+
+func TestOPoisoningAtLowY(t *testing.T) {
+	pt := Measure(16, 0.2, 300, 50, 3)
+	if !pt.Poisoned || pt.CoO < 0.99 {
+		t.Fatalf("y=0.2 should O-poison: %+v", pt)
+	}
+}
+
+func TestCOPoisoningAtHighY(t *testing.T) {
+	pt := Measure(16, 0.7, 300, 50, 4)
+	if !pt.Poisoned || pt.CoCO < 0.99 {
+		t.Fatalf("y=0.7 should CO-poison: %+v", pt)
+	}
+}
+
+func TestReactiveWindow(t *testing.T) {
+	pt := Measure(32, 0.46, 200, 100, 5)
+	if pt.Poisoned {
+		t.Fatalf("y=0.46 poisoned: %+v", pt)
+	}
+	if pt.Rate <= 0 {
+		t.Fatalf("no CO2 production in the reactive window: %+v", pt)
+	}
+	if pt.CoEmpty <= 0 {
+		t.Fatalf("no vacancies in the reactive window: %+v", pt)
+	}
+}
+
+func TestCO2Production(t *testing.T) {
+	lat := lattice.NewSquare(16)
+	z := New(lat, rng.New(6), 0.5)
+	for i := 0; i < 20; i++ {
+		z.Step()
+	}
+	if z.CO2Count() == 0 {
+		t.Fatal("no CO2 produced at y=0.5")
+	}
+	if z.Time() != 20 {
+		t.Fatalf("Time = %v", z.Time())
+	}
+}
+
+func TestSweepAndTransitions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phase sweep is slow")
+	}
+	ys := []float64{0.30, 0.36, 0.45, 0.50, 0.56, 0.62}
+	points := Sweep(24, ys, 250, 60, 7)
+	y1, y2, ok := Transitions(points)
+	if !ok {
+		t.Fatalf("transitions not found: %+v", points)
+	}
+	// Paper values: y1 ≈ 0.39, y2 ≈ 0.525. The coarse grid and small
+	// lattice give wide brackets; require the right ordering and rough
+	// location.
+	if y1 < 0.30 || y1 > 0.47 {
+		t.Fatalf("y1 = %v, want ~0.39", y1)
+	}
+	if y2 < 0.47 || y2 > 0.62 {
+		t.Fatalf("y2 = %v, want ~0.525", y2)
+	}
+	if y1 >= y2 {
+		t.Fatalf("y1 %v >= y2 %v", y1, y2)
+	}
+}
+
+func TestTransitionsIncompleteSweep(t *testing.T) {
+	points := []PhasePoint{{Y: 0.45, CoCO: 0.2, CoO: 0.3}}
+	if _, _, ok := Transitions(points); ok {
+		t.Fatal("transitions claimed from a reactive-only sweep")
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	a := Measure(12, 0.45, 50, 20, 9)
+	b := Measure(12, 0.45, 50, 20, 9)
+	if a != b {
+		t.Fatalf("same seed gave %+v vs %+v", a, b)
+	}
+}
+
+func BenchmarkZGBTrial(b *testing.B) {
+	lat := lattice.NewSquare(128)
+	z := New(lat, rng.New(1), 0.45)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Trial()
+	}
+}

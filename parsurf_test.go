@@ -1,0 +1,144 @@
+package parsurf_test
+
+import (
+	"math"
+	"testing"
+
+	"parsurf"
+)
+
+// The quickstart path: build a model, compile, simulate, observe.
+func TestFacadeQuickstart(t *testing.T) {
+	lat := parsurf.NewSquareLattice(20)
+	m := parsurf.NewZGBModel(parsurf.DefaultZGBRates())
+	cm, err := parsurf.Compile(m, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := parsurf.NewConfig(lat)
+	sim := parsurf.NewRSM(cm, cfg, parsurf.NewRNG(1))
+	parsurf.RunUntil(sim, 5)
+	if sim.Time() < 5 {
+		t.Fatal("RunUntil under-ran")
+	}
+	total := cfg.Coverage(0) + cfg.Coverage(1) + cfg.Coverage(2)
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatal("coverages do not partition")
+	}
+}
+
+func TestFacadePartitionedPath(t *testing.T) {
+	lat := parsurf.NewSquareLattice(20)
+	m := parsurf.NewZGBModel(parsurf.DefaultZGBRates())
+	cm := parsurf.MustCompile(m, lat)
+	part, err := parsurf.VonNeumann5(lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parsurf.VerifyNonOverlap(part, m); err != nil {
+		t.Fatal(err)
+	}
+	cfg := parsurf.NewConfig(lat)
+	p := parsurf.NewPNDCA(cm, cfg, parsurf.NewRNG(2), part)
+	p.Workers = 4
+	for i := 0; i < 10; i++ {
+		p.Step()
+	}
+	if p.Successes() == 0 {
+		t.Fatal("no reactions")
+	}
+
+	e := parsurf.NewLPNDCA(cm, parsurf.NewConfig(lat), parsurf.NewRNG(3), part, 10)
+	e.Strategy = parsurf.RateWeighted
+	e.Step()
+	if e.Trials() == 0 {
+		t.Fatal("no trials")
+	}
+
+	ts, err := parsurf.SplitByDirection(m, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := parsurf.NewTypePartitioned(cm, parsurf.NewConfig(lat), parsurf.NewRNG(4), ts)
+	tp.Step()
+}
+
+func TestFacadeEngines(t *testing.T) {
+	lat := parsurf.NewSquareLattice(12)
+	m := parsurf.NewZGBModel(parsurf.DefaultZGBRates())
+	cm := parsurf.MustCompile(m, lat)
+	sims := []parsurf.Simulator{
+		parsurf.NewRSM(cm, parsurf.NewConfig(lat), parsurf.NewRNG(5)),
+		parsurf.NewVSSM(cm, parsurf.NewConfig(lat), parsurf.NewRNG(6)),
+		parsurf.NewFRM(cm, parsurf.NewConfig(lat), parsurf.NewRNG(7)),
+		parsurf.NewNDCA(cm, parsurf.NewConfig(lat), parsurf.NewRNG(8)),
+		parsurf.NewSyncNDCA(cm, parsurf.NewConfig(lat), parsurf.NewRNG(9)),
+	}
+	d, err := parsurf.NewDDRSM(cm, parsurf.NewConfig(lat), parsurf.NewRNG(10), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims = append(sims, d)
+	for i, sim := range sims {
+		if !sim.Step() {
+			t.Fatalf("engine %d could not step", i)
+		}
+		if sim.Time() <= 0 {
+			t.Fatalf("engine %d time did not advance", i)
+		}
+	}
+}
+
+func TestFacadeZiffAndMachine(t *testing.T) {
+	z := parsurf.NewZiff(parsurf.NewSquareLattice(16), parsurf.NewRNG(11), 0.5)
+	for i := 0; i < 30; i++ {
+		z.Step()
+	}
+	if z.CO2Count() == 0 {
+		t.Fatal("no CO2")
+	}
+
+	mm := parsurf.DefaultMachine()
+	surface, err := mm.SpeedupSurface([]int{200, 1000}, []int{2, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if surface[1][1] <= surface[0][1] {
+		t.Fatal("speedup not increasing with system size")
+	}
+}
+
+func TestFacadePtCO(t *testing.T) {
+	lat := parsurf.NewSquareLattice(20)
+	m := parsurf.NewPtCOModel(parsurf.DefaultPtCORates())
+	cm := parsurf.MustCompile(m, lat)
+	cfg := parsurf.NewConfig(lat)
+	sim := parsurf.NewVSSM(cm, cfg, parsurf.NewRNG(12))
+	count := 0
+	parsurf.Sample(sim, 1, 10, func(tm float64) { count++ })
+	if count < 5 {
+		t.Fatalf("Sample observed %d points", count)
+	}
+	co, o, sq := parsurf.PtCoverages(cfg)
+	if co < 0 || o < 0 || sq < 0 || co > 1 || o > 1 || sq > 1 {
+		t.Fatal("coverages out of range")
+	}
+}
+
+func TestFacadeModularColoring(t *testing.T) {
+	lat := parsurf.NewSquareLattice(20)
+	m := parsurf.NewIsingModel(0.4)
+	p, err := parsurf.ModularColoring(m, lat, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumChunks() != 5 {
+		t.Fatalf("Ising colouring chunks = %d", p.NumChunks())
+	}
+	if parsurf.SingleChunk(lat).NumChunks() != 1 || parsurf.Singletons(lat).NumChunks() != lat.N() {
+		t.Fatal("degenerate partitions wrong")
+	}
+	if _, err := parsurf.Checkerboard(lat); err != nil {
+		t.Fatal(err)
+	}
+}
