@@ -1,0 +1,368 @@
+package parsurf_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"parsurf"
+	"parsurf/internal/stats"
+)
+
+// wantEngines is the engine set the registry must cover (the paper's
+// full comparison).
+var wantEngines = []string{
+	"rsm", "vssm", "frm", "ndca", "syncndca", "bca",
+	"pndca", "lpndca", "typepart", "ddrsm", "ziff",
+}
+
+func TestRegistryCoversAllEngines(t *testing.T) {
+	have := map[string]bool{}
+	for _, name := range parsurf.Engines() {
+		have[name] = true
+	}
+	for _, name := range wantEngines {
+		if !have[name] {
+			t.Errorf("engine %q not registered (have %v)", name, parsurf.Engines())
+		}
+	}
+}
+
+// Round trip: every registered engine constructs through NewEngine,
+// steps, and reports a consistent identity.
+func TestRegistryRoundTrip(t *testing.T) {
+	lat := parsurf.NewSquareLattice(20)
+	m := parsurf.NewZGBModel(parsurf.DefaultZGBRates())
+	cm := parsurf.MustCompile(m, lat)
+	for _, name := range parsurf.Engines() {
+		eng, err := parsurf.NewEngine(name, cm, parsurf.NewConfig(lat), parsurf.NewRNG(7))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if eng.Name() != name {
+			t.Errorf("%s: Name() = %q", name, eng.Name())
+		}
+		if eng.TotalRate() <= 0 {
+			t.Errorf("%s: TotalRate() = %v", name, eng.TotalRate())
+		}
+		for i := 0; i < 3; i++ {
+			if !eng.Step() {
+				t.Fatalf("%s: could not step", name)
+			}
+		}
+		if eng.Steps() != 3 {
+			t.Errorf("%s: Steps() = %d after 3 steps", name, eng.Steps())
+		}
+		if eng.Time() <= 0 {
+			t.Errorf("%s: time did not advance", name)
+		}
+	}
+}
+
+// Model-free engines work without a compiled model; model-bound ones
+// reject the omission.
+func TestRegistryModelFree(t *testing.T) {
+	lat := parsurf.NewSquareLattice(16)
+	eng, err := parsurf.NewEngine("ziff", nil, parsurf.NewConfig(lat), parsurf.NewRNG(1),
+		parsurf.COFraction(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Step() {
+		t.Fatal("ziff could not step")
+	}
+	if _, err := parsurf.NewEngine("rsm", nil, parsurf.NewConfig(lat), parsurf.NewRNG(1)); err == nil {
+		t.Fatal("rsm without a model should fail")
+	}
+}
+
+func TestRegistryOptionValidation(t *testing.T) {
+	lat := parsurf.NewSquareLattice(20)
+	m := parsurf.NewZGBModel(parsurf.DefaultZGBRates())
+	cm := parsurf.MustCompile(m, lat)
+	cases := []struct {
+		name   string
+		engine string
+		opts   []parsurf.EngineOption
+		substr string
+	}{
+		{"unknown engine", "nope", nil, "unknown engine"},
+		{"rsm rejects L", "rsm", []parsurf.EngineOption{parsurf.Trials(5)}, "does not accept"},
+		{"vssm rejects workers", "vssm", []parsurf.EngineOption{parsurf.Workers(4)}, "does not accept"},
+		{"lpndca bad strategy", "lpndca", []parsurf.EngineOption{parsurf.StrategyName("bogus")}, "strategy"},
+		{"ziff bad y", "ziff", []parsurf.EngineOption{parsurf.COFraction(1.5)}, "outside"},
+	}
+	for _, tc := range cases {
+		_, err := parsurf.NewEngine(tc.engine, cm, parsurf.NewConfig(lat), parsurf.NewRNG(1), tc.opts...)
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.substr)
+		}
+	}
+}
+
+// coverageSeries samples per-species coverages of a running simulator
+// the way the Session observers do.
+func coverageSeries(sim parsurf.Simulator, numSpecies int, dt, tEnd float64) []*stats.Series {
+	series := make([]*stats.Series, numSpecies)
+	for i := range series {
+		series[i] = &stats.Series{}
+	}
+	cfg := sim.Config()
+	n := float64(cfg.Lattice().N())
+	parsurf.Sample(sim, dt, tEnd, func(t float64) {
+		counts := cfg.CountAll(numSpecies)
+		for sp := range series {
+			series[sp].Append(t, float64(counts[sp])/n)
+		}
+	})
+	return series
+}
+
+func seriesEqual(a, b []*stats.Series) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i].T) != len(b[i].T) {
+			return false
+		}
+		for j := range a[i].T {
+			if a[i].T[j] != b[i].T[j] || a[i].X[j] != b[i].X[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// A Session reproduces the direct-constructor trajectories bit for bit:
+// same seed + engine name ⇒ identical coverage series.
+func TestSessionMatchesDirectConstructors(t *testing.T) {
+	const side, seed = 20, 99
+	const dt, tEnd = 0.5, 5.0
+	m := parsurf.NewZGBModel(parsurf.DefaultZGBRates())
+	lat := parsurf.NewSquareLattice(side)
+	cm := parsurf.MustCompile(m, lat)
+	part, err := parsurf.VonNeumann5(lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct := map[string]func() parsurf.Simulator{
+		"rsm":  func() parsurf.Simulator { return parsurf.NewRSM(cm, parsurf.NewConfig(lat), parsurf.NewRNG(seed)) },
+		"vssm": func() parsurf.Simulator { return parsurf.NewVSSM(cm, parsurf.NewConfig(lat), parsurf.NewRNG(seed)) },
+		"frm":  func() parsurf.Simulator { return parsurf.NewFRM(cm, parsurf.NewConfig(lat), parsurf.NewRNG(seed)) },
+		"ndca": func() parsurf.Simulator { return parsurf.NewNDCA(cm, parsurf.NewConfig(lat), parsurf.NewRNG(seed)) },
+		"pndca": func() parsurf.Simulator {
+			return parsurf.NewPNDCA(cm, parsurf.NewConfig(lat), parsurf.NewRNG(seed), part)
+		},
+		"lpndca": func() parsurf.Simulator {
+			return parsurf.NewLPNDCA(cm, parsurf.NewConfig(lat), parsurf.NewRNG(seed), part, 10)
+		},
+	}
+	sessionOpts := map[string][]parsurf.EngineOption{
+		"lpndca": {parsurf.Trials(10)},
+	}
+	for name, mk := range direct {
+		want := coverageSeries(mk(), m.NumSpecies(), dt, tEnd)
+
+		sess, err := parsurf.NewSession(
+			parsurf.WithModel(m),
+			parsurf.WithLattice(side, side),
+			parsurf.WithEngine(name, sessionOpts[name]...),
+			parsurf.WithSeed(seed),
+		)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := make([]*stats.Series, m.NumSpecies())
+		for i := range got {
+			got[i] = &stats.Series{}
+		}
+		n := float64(lat.N())
+		obs := parsurf.ObserverFunc(func(tm float64, cfg *parsurf.Config) {
+			counts := cfg.CountAll(m.NumSpecies())
+			for sp := range got {
+				got[sp].Append(tm, float64(counts[sp])/n)
+			}
+		})
+		if _, err := sess.Run(context.Background(), parsurf.Until(tEnd), parsurf.SampleEvery(dt, obs)); err != nil {
+			t.Fatalf("%s run: %v", name, err)
+		}
+		if !seriesEqual(want, got) {
+			t.Errorf("%s: session series differ from direct constructor", name)
+		}
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	m := parsurf.NewZGBModel(parsurf.DefaultZGBRates())
+	if _, err := parsurf.NewSession(parsurf.WithModel(m)); err == nil {
+		t.Error("session without engine should fail")
+	}
+	if _, err := parsurf.NewSession(parsurf.WithEngine("rsm")); err == nil {
+		t.Error("rsm session without model should fail")
+	}
+	if _, err := parsurf.NewSession(parsurf.WithModel(m), parsurf.WithEngine("rsm"), parsurf.WithLattice(0, 5)); err == nil {
+		t.Error("degenerate lattice should fail")
+	}
+	sess, err := parsurf.NewSession(parsurf.WithModel(m), parsurf.WithEngine("rsm"), parsurf.WithLattice(10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(context.Background()); err == nil {
+		t.Error("Run without Until/ForSteps should fail")
+	}
+	if _, err := sess.Run(context.Background(), parsurf.Until(1), parsurf.ForSteps(3)); err == nil {
+		t.Error("Run with both Until and ForSteps should fail")
+	}
+}
+
+func TestSessionContextCancellation(t *testing.T) {
+	sess, err := parsurf.NewSession(
+		parsurf.WithModel(parsurf.NewZGBModel(parsurf.DefaultZGBRates())),
+		parsurf.WithLattice(20, 20),
+		parsurf.WithEngine("rsm"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.Run(ctx, parsurf.Until(1e9)); err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func zgbEnsembleSpec(t testing.TB) *parsurf.SessionSpec {
+	t.Helper()
+	spec, err := parsurf.NewSpec(
+		parsurf.WithLattice(24, 24),
+		parsurf.WithEngine("ziff", parsurf.COFraction(0.51)),
+		parsurf.WithSeed(42),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// RunEnsemble is invariant under the worker count: replica i always
+// draws from the same split stream, so only the wall clock changes.
+func TestEnsembleWorkerInvariance(t *testing.T) {
+	ctx := context.Background()
+	spec := zgbEnsembleSpec(t)
+	const replicas, until, every = 6, 10, 1
+	e1, err := parsurf.RunEnsemble(ctx, spec, replicas, 1, until, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e4, err := parsurf.RunEnsemble(ctx, spec, replicas, 4, until, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range e1.Replicas {
+		if !seriesEqual(e1.Replicas[i].Coverage, e4.Replicas[i].Coverage) {
+			t.Errorf("replica %d differs between 1 and 4 workers", i)
+		}
+	}
+	if !seriesEqual(e1.Mean, e4.Mean) || !seriesEqual(e1.Std, e4.Std) {
+		t.Error("merged series differ between 1 and 4 workers")
+	}
+}
+
+// Replicas are independent: distinct split streams give distinct
+// trajectories, and the merged mean lies within the replica envelope.
+func TestEnsembleReplicaIndependence(t *testing.T) {
+	spec := zgbEnsembleSpec(t)
+	ens, err := parsurf.RunEnsemble(context.Background(), spec, 4, 2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seriesEqual(ens.Replicas[0].Coverage, ens.Replicas[1].Coverage) {
+		t.Error("replicas 0 and 1 produced identical trajectories")
+	}
+	// CO coverage mean at the final grid point must lie within the
+	// replica min/max envelope.
+	co := 1
+	last := len(ens.Mean[co].X) - 1
+	lo, hi := 1.0, 0.0
+	for _, r := range ens.Replicas {
+		v := r.Coverage[co].At(ens.Mean[co].T[last])
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if mean := ens.Mean[co].X[last]; mean < lo || mean > hi {
+		t.Errorf("ensemble mean %.4f outside replica envelope [%.4f, %.4f]", mean, lo, hi)
+	}
+}
+
+func TestEnsembleValidation(t *testing.T) {
+	spec := zgbEnsembleSpec(t)
+	ctx := context.Background()
+	if _, err := parsurf.RunEnsemble(ctx, nil, 2, 1, 1, 1); err == nil {
+		t.Error("nil spec should fail")
+	}
+	if _, err := parsurf.RunEnsemble(ctx, spec, 0, 1, 1, 1); err == nil {
+		t.Error("zero replicas should fail")
+	}
+	if _, err := parsurf.RunEnsemble(ctx, spec, 2, 1, 0, 1); err == nil {
+		t.Error("zero horizon should fail")
+	}
+}
+
+// The final sample lands on tEnd exactly even when tEnd is off the dt
+// grid (the old Sample dropped the tail).
+func TestSampleTakesFinalSampleAtTEnd(t *testing.T) {
+	lat := parsurf.NewSquareLattice(12)
+	m := parsurf.NewZGBModel(parsurf.DefaultZGBRates())
+	cm := parsurf.MustCompile(m, lat)
+	sim := parsurf.NewRSM(cm, parsurf.NewConfig(lat), parsurf.NewRNG(3))
+	const dt, tEnd = 0.25, 1.1
+	var times []float64
+	parsurf.Sample(sim, dt, tEnd, func(tm float64) { times = append(times, tm) })
+	if len(times) == 0 {
+		t.Fatal("no samples")
+	}
+	if last := times[len(times)-1]; last < tEnd {
+		t.Fatalf("run tail dropped: last sample at %v < tEnd %v", last, tEnd)
+	}
+	if sim.Time() < tEnd {
+		t.Fatalf("simulation stopped at %v before tEnd %v", sim.Time(), tEnd)
+	}
+	// On-grid horizons take no duplicate final sample.
+	sim2 := parsurf.NewRSM(cm, parsurf.NewConfig(lat), parsurf.NewRNG(3))
+	times = times[:0]
+	parsurf.Sample(sim2, 0.25, 1.0, func(tm float64) { times = append(times, tm) })
+	if len(times) != 5 { // t = 0, 0.25, 0.5, 0.75, 1.0
+		t.Fatalf("on-grid sampling took %d samples, want 5", len(times))
+	}
+}
+
+// Float drift: dt=0.1 accumulates to 99.99999999999986 < 100, so the
+// last grid sample already covers tEnd; the tail branch must not
+// observe a second time at the identical clock value.
+func TestSampleNoDuplicateOnGridDrift(t *testing.T) {
+	lat := parsurf.NewSquareLattice(8)
+	m := parsurf.NewZGBModel(parsurf.DefaultZGBRates())
+	cm := parsurf.MustCompile(m, lat)
+	sim := parsurf.NewRSM(cm, parsurf.NewConfig(lat), parsurf.NewRNG(3))
+	var times []float64
+	parsurf.Sample(sim, 0.1, 100, func(tm float64) { times = append(times, tm) })
+	for i := 1; i < len(times); i++ {
+		if times[i] == times[i-1] {
+			t.Fatalf("duplicate sample at t=%v (index %d)", times[i], i)
+		}
+	}
+	if n := len(times); n != 1001 {
+		t.Fatalf("got %d samples, want 1001", n)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"parsurf"
-	"parsurf/internal/dmc"
 	"parsurf/internal/lattice"
 	"parsurf/internal/model"
 	"parsurf/internal/rng"
@@ -39,7 +38,11 @@ func runCriteria(opt options) error {
 	waits := make([]float64, reps)
 	for i := range waits {
 		cfg := lattice.NewConfig(lat)
-		r := dmc.NewRSM(cm1, cfg, src)
+		eng, err := parsurf.NewEngine("rsm", cm1, cfg, src)
+		if err != nil {
+			return err
+		}
+		r := eng.(*parsurf.RSM) // concrete engine for single-trial stepping
 		for !r.Trial() {
 		}
 		waits[i] = r.Time()
@@ -61,22 +64,20 @@ func runCriteria(opt options) error {
 	if err != nil {
 		return err
 	}
-	engines := []struct {
-		name string
-		mk   func(*lattice.Config, *rng.Source) parsurf.Simulator
-	}{
-		{"RSM", func(c *lattice.Config, s *rng.Source) parsurf.Simulator { return dmc.NewRSM(cm2, c, s) }},
-		{"VSSM", func(c *lattice.Config, s *rng.Source) parsurf.Simulator { return dmc.NewVSSM(cm2, c, s) }},
-		{"FRM", func(c *lattice.Config, s *rng.Source) parsurf.Simulator { return dmc.NewFRM(cm2, c, s) }},
-	}
+	// The exact DMC engines, by registry name — no per-engine
+	// constructors needed.
+	engines := []string{"rsm", "vssm", "frm"}
 	fmt.Printf("criterion 2 (type ratio k_i/K = 0.25/0.75): %d replicates per engine\n", reps)
 	rows := make([][]string, 0, len(engines))
-	for _, eng := range engines {
+	for _, name := range engines {
 		src := rng.New(opt.seed + 7)
 		counts := []int{0, 0}
 		for i := 0; i < reps; i++ {
 			cfg := lattice.NewConfig(lat)
-			sim := eng.mk(cfg, src)
+			sim, err := parsurf.NewEngine(name, cm2, cfg, src)
+			if err != nil {
+				return err
+			}
 			for cfg.Get(0) == 0 {
 				if !sim.Step() {
 					break
@@ -90,7 +91,7 @@ func runCriteria(opt options) error {
 		}
 		// chi-square critical value at 1 dof, alpha 0.01: 6.63.
 		rows = append(rows, []string{
-			eng.name,
+			name,
 			fmt.Sprintf("%.4f", float64(counts[0])/float64(reps)),
 			fmt.Sprintf("%.4f", float64(counts[1])/float64(reps)),
 			fmt.Sprintf("%.2f (dof %d)", chi2, dof),

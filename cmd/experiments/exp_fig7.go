@@ -45,27 +45,32 @@ func runFig7(opt options) error {
 	if !opt.quick {
 		side = 100
 	}
-	lat := parsurf.NewSquareLattice(side)
 	m := parsurf.NewPtCOModel(parsurf.DefaultPtCORates())
-	cm, err := parsurf.Compile(m, lat)
-	if err != nil {
-		return err
-	}
-	part, err := parsurf.VonNeumann5(lat)
-	if err != nil {
-		return err
-	}
-	run := func(w int) *parsurf.Config {
-		cfg := parsurf.NewConfig(lat)
-		p := parsurf.NewPNDCA(cm, cfg, parsurf.NewRNG(opt.seed), part)
-		p.Workers = w
-		for i := 0; i < 20; i++ {
-			p.Step()
+	run := func(w int) (*parsurf.Config, error) {
+		sess, err := parsurf.NewSession(
+			parsurf.WithModel(m),
+			parsurf.WithLattice(side, side),
+			parsurf.WithEngine("pndca", parsurf.Workers(w)),
+			parsurf.WithSeed(opt.seed),
+		)
+		if err != nil {
+			return nil, err
 		}
-		return cfg
+		if _, err := sess.Run(opt.ctx, parsurf.ForSteps(20)); err != nil {
+			return nil, err
+		}
+		return sess.Config(), nil
+	}
+	seq, err := run(1)
+	if err != nil {
+		return err
+	}
+	par, err := run(8)
+	if err != nil {
+		return err
 	}
 	fmt.Printf("goroutine check (%dx%d Pt(100), 20 steps): 8 workers == sequential: %v\n",
-		side, side, run(1).Equal(run(8)))
+		side, side, seq.Equal(par))
 
 	// Segers baseline: measure the boundary communication volume of the
 	// domain decomposition and model its step time next to PNDCA's.
@@ -83,10 +88,11 @@ func runFig7(opt options) error {
 	rows = rows[:0]
 	for _, p := range []int{2, 4, 8} {
 		cfg := parsurf.NewConfig(zlat)
-		d, err := parsurf.NewDDRSM(zcm, cfg, parsurf.NewRNG(opt.seed), p)
+		eng, err := parsurf.NewEngine("ddrsm", zcm, cfg, parsurf.NewRNG(opt.seed), parsurf.Workers(p))
 		if err != nil {
 			return err
 		}
+		d := eng.(*parsurf.DDRSM)
 		steps := 20
 		for i := 0; i < steps; i++ {
 			d.Step()

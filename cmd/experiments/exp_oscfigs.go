@@ -34,6 +34,16 @@ func newOscSetup(opt options) (*oscSetup, error) {
 	return &oscSetup{lat: lat, cm: cm, tEnd: tEnd, dt: 0.25, seed: opt.seed}, nil
 }
 
+// engine builds a named engine over the shared compiled model, seeded
+// identically for every engine so the limit cases compare bit for bit.
+func (s *oscSetup) engine(name string, cfg *parsurf.Config, opts ...parsurf.EngineOption) parsurf.Engine {
+	eng, err := parsurf.NewEngine(name, s.cm, cfg, parsurf.NewRNG(s.seed), opts...)
+	if err != nil {
+		panic(err) // static engine names and options; cannot fail at run time
+	}
+	return eng
+}
+
 // coSeries runs the simulator to tEnd sampling the CO coverage.
 func (s *oscSetup) coSeries(sim parsurf.Simulator, cfg *parsurf.Config) *stats.Series {
 	out := &stats.Series{}
@@ -69,15 +79,16 @@ func runFig8(opt options) error {
 	n := s.lat.N()
 
 	cfgR := parsurf.NewConfig(s.lat)
-	rsm := parsurf.NewRSM(s.cm, cfgR, parsurf.NewRNG(s.seed))
-	coR := s.coSeries(rsm, cfgR)
+	coR := s.coSeries(s.engine("rsm", cfgR), cfgR)
 
 	cfg1 := parsurf.NewConfig(s.lat)
-	e1 := parsurf.NewLPNDCA(s.cm, cfg1, parsurf.NewRNG(s.seed), parsurf.SingleChunk(s.lat), n)
+	e1 := s.engine("lpndca", cfg1,
+		parsurf.UsePartition(parsurf.SingleChunk(s.lat)), parsurf.Trials(n))
 	co1 := s.coSeries(e1, cfg1)
 
 	cfgN := parsurf.NewConfig(s.lat)
-	eN := parsurf.NewLPNDCA(s.cm, cfgN, parsurf.NewRNG(s.seed), parsurf.Singletons(s.lat), 1)
+	eN := s.engine("lpndca", cfgN,
+		parsurf.UsePartition(parsurf.Singletons(s.lat)), parsurf.Trials(1))
 	coN := s.coSeries(eN, cfgN)
 
 	fmt.Printf("Pt(100) %dx%d to t=%.0f, identical seeds:\n", s.lat.L0, s.lat.L1, s.tEnd)
@@ -104,13 +115,13 @@ func runFig9(opt options) error {
 	}
 
 	cfgR := parsurf.NewConfig(s.lat)
-	coR := s.coSeries(parsurf.NewRSM(s.cm, cfgR, parsurf.NewRNG(s.seed)), cfgR)
+	coR := s.coSeries(s.engine("rsm", cfgR), cfgR)
 
 	series := map[int]*stats.Series{}
 	for _, l := range []int{1, 100} {
 		cfg := parsurf.NewConfig(s.lat)
-		e := parsurf.NewLPNDCA(s.cm, cfg, parsurf.NewRNG(s.seed), part, l)
-		e.Strategy = parsurf.RandomReplacement
+		e := s.engine("lpndca", cfg, parsurf.UsePartition(part),
+			parsurf.Trials(l), parsurf.Strategy(parsurf.RandomReplacement))
 		series[l] = s.coSeries(e, cfg)
 	}
 
@@ -139,18 +150,18 @@ func runFig10(opt options) error {
 	l := s.lat.N() / part.NumChunks()
 
 	cfgR := parsurf.NewConfig(s.lat)
-	coR := s.coSeries(parsurf.NewRSM(s.cm, cfgR, parsurf.NewRNG(s.seed)), cfgR)
+	coR := s.coSeries(s.engine("rsm", cfgR), cfgR)
 
 	cfgA := parsurf.NewConfig(s.lat)
-	eA := parsurf.NewLPNDCA(s.cm, cfgA, parsurf.NewRNG(s.seed), part, l)
-	eA.Strategy = parsurf.AllRandomOrder
+	eA := s.engine("lpndca", cfgA, parsurf.UsePartition(part),
+		parsurf.Trials(l), parsurf.Strategy(parsurf.AllRandomOrder))
 	coA := s.coSeries(eA, cfgA)
 
 	// Contrast: the same L with replacement selection (the failing mode
 	// of Fig. 9 pushed further).
 	cfgB := parsurf.NewConfig(s.lat)
-	eB := parsurf.NewLPNDCA(s.cm, cfgB, parsurf.NewRNG(s.seed), part, l)
-	eB.Strategy = parsurf.RandomReplacement
+	eB := s.engine("lpndca", cfgB, parsurf.UsePartition(part),
+		parsurf.Trials(l), parsurf.Strategy(parsurf.RandomReplacement))
 	coB := s.coSeries(eB, cfgB)
 
 	fmt.Printf("Pt(100) %dx%d, five chunks, L = N/m = %d:\n", s.lat.L0, s.lat.L1, l)

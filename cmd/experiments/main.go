@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,7 @@ import (
 type options struct {
 	quick bool
 	seed  uint64
+	ctx   context.Context
 }
 
 var experiments = []struct {
@@ -54,7 +56,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sizes and spans (fast smoke run)")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	flag.Parse()
-	opt := options{quick: *quick, seed: *seed}
+	opt := options{quick: *quick, seed: *seed, ctx: context.Background()}
 
 	name := flag.Arg(0)
 	if name == "" {

@@ -1,6 +1,9 @@
 // Command surfsim is a general-purpose surface-reaction simulator: pick
-// a model, an algorithm, a lattice size and a time span; it prints the
+// a model, an engine, a lattice size and a time span; it prints the
 // coverage time series as CSV (stdout) and an optional terminal plot.
+// Engines are resolved through the parsurf registry, so every
+// registered engine is available by name — run with -method help for
+// the list.
 //
 // Examples:
 //
@@ -8,9 +11,12 @@
 //	surfsim -model ptco -method vssm -size 100 -t 200 -plot
 //	surfsim -model ptco -method lpndca -L 100 -strategy random -size 100 -t 200
 //	surfsim -model zgb -method ddrsm -workers 4 -size 80 -t 30
+//	surfsim -method ziff -y 0.52 -size 128 -t 200
+//	surfsim -model zgb -method pndca -workers 4 -replicas 16 -par 4 -t 50
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,26 +31,71 @@ func main() {
 	var (
 		modelName = flag.String("model", "zgb", "model: zgb | ptco | diffusion | ising")
 		modelFile = flag.String("modelfile", "", "read the model from a definition file instead (see internal/modelfile)")
-		method    = flag.String("method", "rsm", "algorithm: rsm | vssm | frm | ndca | pndca | lpndca | typepart | ddrsm")
+		method    = flag.String("method", "rsm", "engine name from the registry (use 'help' to list)")
 		size      = flag.Int("size", 100, "lattice side (multiples of 10 keep every partition valid)")
 		tEnd      = flag.Float64("t", 50, "simulated end time")
 		dt        = flag.Float64("dt", 0.25, "sample interval")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		l         = flag.Int("L", 1, "L-PNDCA: trials per chunk selection")
 		strategy  = flag.String("strategy", "random", "L-PNDCA chunk selection: order | randomorder | random | rates")
-		workers   = flag.Int("workers", 1, "PNDCA sweep goroutines / DDRSM strips")
+		workers   = flag.Int("workers", 1, "PNDCA/typepart sweep goroutines / DDRSM strips")
+		block     = flag.Int("block", 4, "BCA block side")
+		y         = flag.Float64("y", 0.5, "ziff: CO impingement fraction")
+		replicas  = flag.Int("replicas", 1, "ensemble replicas (>1 prints the ensemble mean series)")
+		par       = flag.Int("par", 4, "ensemble worker goroutines")
 		plot      = flag.Bool("plot", false, "print an ASCII plot to stderr")
 		svgPath   = flag.String("svg", "", "also write an SVG chart of the coverages to this path")
 	)
 	flag.Parse()
 
-	if err := run(*modelName, *modelFile, *method, *size, *tEnd, *dt, *seed, *l, *strategy, *workers, *plot, *svgPath); err != nil {
+	if *method == "help" {
+		fmt.Fprintln(os.Stderr, "registered engines:")
+		for _, spec := range parsurf.EngineSpecs() {
+			fmt.Fprintf(os.Stderr, "  %-9s %s\n", spec.Name, spec.Doc)
+		}
+		os.Exit(2)
+	}
+	if err := run(*modelName, *modelFile, *method, *size, *tEnd, *dt, *seed, *l, *strategy,
+		*workers, *block, *y, *replicas, *par, *plot, *svgPath); err != nil {
 		fmt.Fprintln(os.Stderr, "surfsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelName, modelFile, method string, size int, tEnd, dt float64, seed uint64, l int, strategy string, workers int, plot bool, svgPath string) error {
+func run(modelName, modelFile, method string, size int, tEnd, dt float64, seed uint64,
+	l int, strategy string, workers, block int, y float64, replicas, par int,
+	plot bool, svgPath string) error {
+	engSpec, ok := parsurf.LookupEngine(method)
+	if !ok {
+		return fmt.Errorf("unknown engine %q (registered: %v)", method, parsurf.Engines())
+	}
+
+	// Forward each flag to every engine that accepts it; the registry
+	// validates the rest. Flag defaults coincide with engine defaults.
+	var engOpts []parsurf.EngineOption
+	if engSpec.Accepts&parsurf.OptL != 0 {
+		engOpts = append(engOpts, parsurf.Trials(l))
+	}
+	if engSpec.Accepts&parsurf.OptStrategy != 0 {
+		engOpts = append(engOpts, parsurf.StrategyName(strategy))
+	}
+	if engSpec.Accepts&parsurf.OptWorkers != 0 {
+		engOpts = append(engOpts, parsurf.Workers(workers))
+	}
+	if engSpec.Accepts&parsurf.OptBlocks != 0 {
+		engOpts = append(engOpts, parsurf.BlockSize(block, block))
+	}
+	if engSpec.Accepts&parsurf.OptY != 0 {
+		engOpts = append(engOpts, parsurf.COFraction(y))
+	}
+
+	sessOpts := []parsurf.SessionOption{
+		parsurf.WithLattice(size, size),
+		parsurf.WithEngine(method, engOpts...),
+		parsurf.WithSeed(seed),
+	}
+	// The model flags are validated even when the engine is model-free,
+	// so a typo'd -model/-modelfile never yields a plausible-looking run.
 	var m *parsurf.Model
 	switch {
 	case modelFile != "":
@@ -68,90 +119,66 @@ func run(modelName, modelFile, method string, size int, tEnd, dt float64, seed u
 	default:
 		return fmt.Errorf("unknown model %q", modelName)
 	}
+	if !engSpec.ModelFree {
+		sessOpts = append(sessOpts, parsurf.WithModel(m))
+		if modelName == "diffusion" || modelName == "ising" {
+			// Single runs keep the historical fixed init stream for
+			// bit-identical output; ensemble replicas use the split
+			// per-replica stream so their initial surfaces differ.
+			useReplicaStream := replicas > 1
+			sessOpts = append(sessOpts, parsurf.WithInit(func(cfg *parsurf.Config, src *parsurf.RNG) {
+				if useReplicaStream {
+					cfg.Randomize([]float64{0.5, 0.5}, src.Float64)
+				} else {
+					cfg.Randomize([]float64{0.5, 0.5}, parsurf.NewRNG(seed^0xabcd).Float64)
+				}
+			}))
+		}
+	}
 
-	lat := parsurf.NewSquareLattice(size)
-	cm, err := parsurf.Compile(m, lat)
+	spec, err := parsurf.NewSpec(sessOpts...)
 	if err != nil {
 		return err
 	}
-	cfg := parsurf.NewConfig(lat)
-	if modelName == "diffusion" || modelName == "ising" {
-		cfg.Randomize([]float64{0.5, 0.5}, parsurf.NewRNG(seed^0xabcd).Float64)
-	}
-	src := parsurf.NewRNG(seed)
 
-	var sim parsurf.Simulator
-	switch method {
-	case "rsm":
-		sim = parsurf.NewRSM(cm, cfg, src)
-	case "vssm":
-		sim = parsurf.NewVSSM(cm, cfg, src)
-	case "frm":
-		sim = parsurf.NewFRM(cm, cfg, src)
-	case "ndca":
-		sim = parsurf.NewNDCA(cm, cfg, src)
-	case "pndca":
-		part, err := parsurf.VonNeumann5(lat)
+	var names []string
+	var series []*stats.Series
+	if replicas > 1 {
+		ens, err := parsurf.RunEnsemble(context.Background(), spec, replicas, par, tEnd, dt)
 		if err != nil {
 			return err
 		}
-		p := parsurf.NewPNDCA(cm, cfg, src, part)
-		p.Workers = workers
-		sim = p
-	case "lpndca":
-		part, err := parsurf.VonNeumann5(lat)
+		names = ens.Replicas[0].Session.SpeciesNames()
+		series = ens.Mean
+	} else {
+		sess, err := spec.Session()
 		if err != nil {
 			return err
 		}
-		e := parsurf.NewLPNDCA(cm, cfg, src, part, l)
-		switch strategy {
-		case "order":
-			e.Strategy = parsurf.AllInOrder
-		case "randomorder":
-			e.Strategy = parsurf.AllRandomOrder
-		case "random":
-			e.Strategy = parsurf.RandomReplacement
-		case "rates":
-			e.Strategy = parsurf.RateWeighted
-		default:
-			return fmt.Errorf("unknown strategy %q", strategy)
+		names = sess.SpeciesNames()
+		numSpecies := sess.NumSpecies()
+		series = make([]*stats.Series, numSpecies)
+		for i := range series {
+			series[i] = &stats.Series{}
 		}
-		sim = e
-	case "typepart":
-		ts, err := parsurf.SplitByDirection(m, lat)
-		if err != nil {
+		n := float64(sess.Lattice().N())
+		obs := parsurf.ObserverFunc(func(t float64, cfg *parsurf.Config) {
+			counts := cfg.CountAll(numSpecies)
+			for sp := range series {
+				series[sp].Append(t, float64(counts[sp])/n)
+			}
+		})
+		if _, err := sess.Run(context.Background(), parsurf.Until(tEnd), parsurf.SampleEvery(dt, obs)); err != nil {
 			return err
 		}
-		sim = parsurf.NewTypePartitioned(cm, cfg, src, ts)
-	case "ddrsm":
-		d, err := parsurf.NewDDRSM(cm, cfg, src, workers)
-		if err != nil {
-			return err
-		}
-		sim = d
-	default:
-		return fmt.Errorf("unknown method %q", method)
 	}
 
-	numSpecies := m.NumSpecies()
-	series := make([]*stats.Series, numSpecies)
-	for i := range series {
-		series[i] = &stats.Series{}
-	}
-	parsurf.Sample(sim, dt, tEnd, func(t float64) {
-		counts := cfg.CountAll(numSpecies)
-		n := float64(lat.N())
-		for sp := range series {
-			series[sp].Append(t, float64(counts[sp])/n)
-		}
-	})
-
-	names := append([]string{"t"}, m.Species...)
-	if err := trace.WriteCSV(os.Stdout, names, series...); err != nil {
+	header := append([]string{"t"}, names...)
+	if err := trace.WriteCSV(os.Stdout, header, series...); err != nil {
 		return err
 	}
 	if plot {
-		fmt.Fprintf(os.Stderr, "coverages (%v):\n%s", m.Species,
+		fmt.Fprintf(os.Stderr, "coverages (%v):\n%s", names,
 			trace.ASCIIPlot(14, 72, "ox.+*#", series...))
 	}
 	if svgPath != "" {
@@ -162,7 +189,7 @@ func run(modelName, modelFile, method string, size int, tEnd, dt float64, seed u
 		defer f.Close()
 		opt := trace.SVGOptions{
 			Title:  fmt.Sprintf("%s / %s, %dx%d", modelTitle(modelName, modelFile), method, size, size),
-			Labels: m.Species,
+			Labels: names,
 		}
 		if err := trace.WriteSVG(f, opt, series...); err != nil {
 			return err

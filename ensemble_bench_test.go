@@ -1,0 +1,33 @@
+package parsurf_test
+
+import (
+	"context"
+	"testing"
+
+	"parsurf"
+)
+
+// The acceptance benchmark of the ensemble runner: 16 ZGB replicas at
+// 64×64 for 50 MCS. Replicas are embarrassingly parallel, so 4 workers
+// should cut wall clock by well over 2.5× on a 4-core machine:
+//
+//	go test -bench BenchmarkEnsembleZGB -benchtime 3x
+func benchmarkEnsemble(b *testing.B, workers int) {
+	spec, err := parsurf.NewSpec(
+		parsurf.WithLattice(64, 64),
+		parsurf.WithEngine("ziff", parsurf.COFraction(0.51)),
+		parsurf.WithSeed(42),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parsurf.RunEnsemble(context.Background(), spec, 16, workers, 50, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnsembleZGB16Replicas1Worker(b *testing.B)  { benchmarkEnsemble(b, 1) }
+func BenchmarkEnsembleZGB16Replicas4Workers(b *testing.B) { benchmarkEnsemble(b, 4) }

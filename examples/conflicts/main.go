@@ -4,12 +4,14 @@
 // density. Partitioned updates (PNDCA) avoid the problem by
 // construction: this example counts conflicts across densities and
 // verifies particle conservation, then shows the cluster structure of
-// the final state.
+// the final state. Both engines are built by name through the Session
+// API.
 //
 //	go run ./examples/conflicts
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"parsurf"
@@ -18,49 +20,71 @@ import (
 )
 
 func main() {
-	lat := parsurf.NewSquareLattice(64)
+	ctx := context.Background()
 	m := parsurf.NewDiffusionModel(1)
-	cm := parsurf.MustCompile(m, lat)
 
 	fmt.Println("synchronous NDCA on diffusing particles (Fig. 2 scenario):")
 	rows := [][]string{}
 	for _, density := range []float64{0.1, 0.3, 0.5, 0.7} {
-		cfg := parsurf.NewConfig(lat)
-		cfg.Randomize([]float64{1 - density, density}, parsurf.NewRNG(7).Float64)
-		before := cfg.Count(1)
-		sim := parsurf.NewSyncNDCA(cm, cfg, parsurf.NewRNG(8))
-		for i := 0; i < 100; i++ {
-			sim.Step()
+		density := density
+		sess, err := parsurf.NewSession(
+			parsurf.WithModel(m),
+			parsurf.WithLattice(64, 64),
+			parsurf.WithEngine("syncndca"),
+			parsurf.WithSeed(8),
+			parsurf.WithInit(func(cfg *parsurf.Config, _ *parsurf.RNG) {
+				cfg.Randomize([]float64{1 - density, density}, parsurf.NewRNG(7).Float64)
+			}),
+		)
+		if err != nil {
+			panic(err)
 		}
-		conflictRate := float64(sim.Conflicts()) / float64(sim.Proposed())
+		before := sess.Config().Count(1)
+		if _, err := sess.Run(ctx, parsurf.ForSteps(100)); err != nil {
+			panic(err)
+		}
+		sync := sess.Engine().(*parsurf.SyncNDCA) // conflict counters
+		conflictRate := float64(sync.Conflicts()) / float64(sync.Proposed())
 		rows = append(rows, []string{
 			fmt.Sprintf("%.1f", density),
-			fmt.Sprintf("%d", sim.Proposed()),
-			fmt.Sprintf("%d", sim.Conflicts()),
+			fmt.Sprintf("%d", sync.Proposed()),
+			fmt.Sprintf("%d", sync.Conflicts()),
 			fmt.Sprintf("%.1f%%", conflictRate*100),
-			fmt.Sprintf("%v", cfg.Count(1) == before),
+			fmt.Sprintf("%v", sess.Config().Count(1) == before),
 		})
 	}
 	fmt.Print(trace.Table(
 		[]string{"density", "proposals", "conflicts", "conflict rate", "conserved"}, rows))
 
 	// The same workload under PNDCA: zero conflicts by construction.
-	part, err := parsurf.ModularColoring(m, lat, 16)
+	// The partition comes from the modular-colouring search, built from
+	// the session's model and lattice at construction time.
+	sess, err := parsurf.NewSession(
+		parsurf.WithModel(m),
+		parsurf.WithLattice(64, 64),
+		parsurf.WithEngine("pndca",
+			parsurf.PartitionWith(func(m *parsurf.Model, lat *parsurf.Lattice) (*parsurf.Partition, error) {
+				return parsurf.ModularColoring(m, lat, 16)
+			}),
+			parsurf.Workers(4),
+		),
+		parsurf.WithSeed(8),
+		parsurf.WithInit(func(cfg *parsurf.Config, _ *parsurf.RNG) {
+			cfg.Randomize([]float64{0.5, 0.5}, parsurf.NewRNG(7).Float64)
+		}),
+	)
 	if err != nil {
 		panic(err)
 	}
-	cfg := parsurf.NewConfig(lat)
-	cfg.Randomize([]float64{0.5, 0.5}, parsurf.NewRNG(7).Float64)
-	before := cfg.Count(1)
-	p := parsurf.NewPNDCA(cm, cfg, parsurf.NewRNG(8), part)
-	p.Workers = 4
-	for i := 0; i < 100; i++ {
-		p.Step()
+	before := sess.Config().Count(1)
+	if _, err := sess.Run(ctx, parsurf.ForSteps(100)); err != nil {
+		panic(err)
 	}
+	p := sess.Engine().(*parsurf.PNDCA)
 	fmt.Printf("\nPNDCA over %d chunks, 4 workers: %d reactions, conserved: %v, conflicts: none possible\n",
-		part.NumChunks(), p.Successes(), cfg.Count(1) == before)
+		p.Partition().NumChunks(), p.Successes(), sess.Config().Count(1) == before)
 
-	st := cluster.Summarize(cluster.SpeciesComponents(cfg, 1))
+	st := cluster.Summarize(cluster.SpeciesComponents(sess.Config(), 1))
 	fmt.Printf("final particle clusters: %d clusters, largest %d, mean size %.1f\n",
 		st.Clusters, st.Largest, st.MeanSize)
 }

@@ -1,13 +1,14 @@
 // Oscillations: the Pt(100) CO-oxidation model with surface
 // reconstruction develops kinetic oscillations in the coverages (the
 // system of the paper's §6). This example runs the exact DMC reference
-// and the partitioned L-PNDCA side by side and compares the detected
-// oscillation.
+// and the partitioned L-PNDCA side by side — two Sessions differing
+// only in the engine name — and compares the detected oscillation.
 //
 //	go run ./examples/oscillations [-l 60] [-t 150] [-L 1]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -24,32 +25,37 @@ func main() {
 	trialsPerChunk := flag.Int("L", 1, "L-PNDCA trials per chunk selection")
 	flag.Parse()
 
+	ctx := context.Background()
 	m := parsurf.NewPtCOModel(parsurf.DefaultPtCORates())
-	lat := parsurf.NewSquareLattice(*l)
-	cm := parsurf.MustCompile(m, lat)
+
+	// runCO builds a session for the named engine and records the CO
+	// coverage (summed over both surface phases) every 0.25 time units.
+	runCO := func(engine string, engOpts ...parsurf.EngineOption) (*stats.Series, *parsurf.Config) {
+		sess, err := parsurf.NewSession(
+			parsurf.WithModel(m),
+			parsurf.WithLattice(*l, *l),
+			parsurf.WithEngine(engine, engOpts...),
+			parsurf.WithSeed(1),
+		)
+		if err != nil {
+			panic(err)
+		}
+		co := &stats.Series{}
+		obs := parsurf.ObserverFunc(func(t float64, cfg *parsurf.Config) {
+			c, _, _ := parsurf.PtCoverages(cfg)
+			co.Append(t, c)
+		})
+		if _, err := sess.Run(ctx, parsurf.Until(*tEnd), parsurf.SampleEvery(0.25, obs)); err != nil {
+			panic(err)
+		}
+		return co, sess.Config()
+	}
 
 	// Reference: exact DMC (VSSM — same process as RSM, far fewer
-	// wasted trials).
-	refCfg := parsurf.NewConfig(lat)
-	ref := parsurf.NewVSSM(cm, refCfg, parsurf.NewRNG(1))
-	refCO := &stats.Series{}
-	parsurf.Sample(ref, 0.25, *tEnd, func(t float64) {
-		co, _, _ := parsurf.PtCoverages(refCfg)
-		refCO.Append(t, co)
-	})
-
-	// Partitioned CA: L-PNDCA over the five-chunk partition of Fig. 4.
-	part, err := parsurf.VonNeumann5(lat)
-	if err != nil {
-		panic(err)
-	}
-	caCfg := parsurf.NewConfig(lat)
-	ca := parsurf.NewLPNDCA(cm, caCfg, parsurf.NewRNG(1), part, *trialsPerChunk)
-	caCO := &stats.Series{}
-	parsurf.Sample(ca, 0.25, *tEnd, func(t float64) {
-		co, _, _ := parsurf.PtCoverages(caCfg)
-		caCO.Append(t, co)
-	})
+	// wasted trials). Partitioned CA: L-PNDCA over the five-chunk
+	// partition of Fig. 4 (the engine's default partition).
+	refCO, refCfg := runCO("vssm")
+	caCO, _ := runCO("lpndca", parsurf.Trials(*trialsPerChunk))
 
 	fmt.Printf("CO coverage vs time on Pt(100), %dx%d: DMC (o) vs L-PNDCA L=%d (x)\n",
 		*l, *l, *trialsPerChunk)

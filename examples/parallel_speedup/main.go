@@ -1,20 +1,24 @@
 // Parallel speedup: regenerate the paper's Fig. 7 — the speedup
 // T(1,N)/T(p,N) of the partitioned NDCA as a function of system size N
-// and processor count p — on the simulated parallel machine, and verify
-// with a real goroutine-parallel PNDCA run that parallel execution is
-// bit-identical to sequential.
+// and processor count p — on the simulated parallel machine, verify
+// with a real goroutine-parallel PNDCA Session that parallel execution
+// is bit-identical to sequential, and measure the wall-clock speedup of
+// the ensemble runner on a replicated ZGB workload.
 //
 //	go run ./examples/parallel_speedup
 package main
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"parsurf"
 	"parsurf/internal/trace"
 )
 
 func main() {
+	ctx := context.Background()
 	mm := parsurf.DefaultMachine()
 	sides := []int{200, 400, 600, 800, 1000}
 	workers := []int{2, 4, 6, 8, 10}
@@ -39,22 +43,61 @@ func main() {
 	fmt.Print(trace.Table(header, rows))
 
 	// Fidelity check on real hardware: the goroutine-parallel sweep
-	// must reproduce the sequential trajectory exactly.
-	lat := parsurf.NewSquareLattice(100)
+	// must reproduce the sequential trajectory exactly. Two sessions
+	// differing only in the worker count.
 	m := parsurf.NewZGBModel(parsurf.DefaultZGBRates())
-	cm := parsurf.MustCompile(m, lat)
-	part, _ := parsurf.VonNeumann5(lat)
-
-	run := func(workers int) *parsurf.Config {
-		cfg := parsurf.NewConfig(lat)
-		p := parsurf.NewPNDCA(cm, cfg, parsurf.NewRNG(7), part)
-		p.Workers = workers
-		for i := 0; i < 50; i++ {
-			p.Step()
+	run := func(w int) *parsurf.Config {
+		sess, err := parsurf.NewSession(
+			parsurf.WithModel(m),
+			parsurf.WithLattice(100, 100),
+			parsurf.WithEngine("pndca", parsurf.Workers(w)),
+			parsurf.WithSeed(7),
+		)
+		if err != nil {
+			panic(err)
 		}
-		return cfg
+		if _, err := sess.Run(ctx, parsurf.ForSteps(50)); err != nil {
+			panic(err)
+		}
+		return sess.Config()
 	}
 	seq, par := run(1), run(8)
 	fmt.Printf("\nreal goroutine check (100x100, 50 steps): parallel == sequential: %v\n",
 		seq.Equal(par))
+
+	// Replica-level parallelism: RunEnsemble executes independent
+	// replicas on split RNG streams; the result is bit-identical for
+	// every worker count, only the wall clock changes.
+	spec, err := parsurf.NewSpec(
+		parsurf.WithLattice(64, 64),
+		parsurf.WithEngine("ziff", parsurf.COFraction(0.51)),
+		parsurf.WithSeed(42),
+	)
+	if err != nil {
+		panic(err)
+	}
+	const replicas = 16
+	timeEnsemble := func(w int) (time.Duration, *parsurf.Ensemble) {
+		start := time.Now()
+		ens, err := parsurf.RunEnsemble(ctx, spec, replicas, w, 100, 1)
+		if err != nil {
+			panic(err)
+		}
+		return time.Since(start), ens
+	}
+	t1, e1 := timeEnsemble(1)
+	t4, e4 := timeEnsemble(4)
+	same := true
+	for sp := range e1.Mean {
+		for i := range e1.Mean[sp].X {
+			if e1.Mean[sp].X[i] != e4.Mean[sp].X[i] {
+				same = false
+			}
+		}
+	}
+	fmt.Printf("\nensemble of %d ZGB replicas (64x64, 100 MCS): 1 worker %.2fs, 4 workers %.2fs — %.1fx speedup, identical results: %v\n",
+		replicas, t1.Seconds(), t4.Seconds(), t1.Seconds()/t4.Seconds(), same)
+	co := e1.Mean[1] // CO coverage ensemble mean
+	fmt.Printf("ensemble-mean CO coverage at t=100: %.3f ± %.3f\n",
+		co.X[len(co.X)-1], e1.Std[1].X[len(e1.Std[1].X)-1])
 }

@@ -1,10 +1,12 @@
 // Quickstart: simulate CO oxidation on a 100×100 lattice with the
-// Random Selection Method and print the coverage evolution.
+// Random Selection Method and print the coverage evolution, using the
+// Session API — model, lattice, engine-by-name, seed, run.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"parsurf"
@@ -13,28 +15,34 @@ import (
 )
 
 func main() {
-	// The surface: a periodic 100×100 lattice, initially vacant.
-	lat := parsurf.NewSquareLattice(100)
-	cfg := parsurf.NewConfig(lat)
-
-	// The model: Table I of the paper — CO adsorption, dissociative O2
-	// adsorption, CO+O → CO2.
-	m := parsurf.NewZGBModel(parsurf.DefaultZGBRates())
-	cm := parsurf.MustCompile(m, lat)
-
-	// The engine: RSM, the paper's reference Dynamic Monte Carlo
-	// algorithm. Everything is seeded and reproducible.
-	sim := parsurf.NewRSM(cm, cfg, parsurf.NewRNG(2003))
+	// The session wires everything: a periodic 100×100 lattice
+	// (initially vacant), the seven-reaction CO-oxidation model of the
+	// paper's Table I, and RSM — the paper's reference Dynamic Monte
+	// Carlo engine — all seeded and reproducible.
+	sess, err := parsurf.NewSession(
+		parsurf.WithModel(parsurf.NewZGBModel(parsurf.DefaultZGBRates())),
+		parsurf.WithLattice(100, 100),
+		parsurf.WithEngine("rsm"),
+		parsurf.WithSeed(2003),
+	)
+	if err != nil {
+		panic(err)
+	}
 
 	co := &stats.Series{}
 	o := &stats.Series{}
-	parsurf.Sample(sim, 0.2, 40, func(t float64) {
+	obs := parsurf.ObserverFunc(func(t float64, cfg *parsurf.Config) {
 		co.Append(t, cfg.Coverage(1))
 		o.Append(t, cfg.Coverage(2))
 	})
+	if _, err := sess.Run(context.Background(), parsurf.Until(40), parsurf.SampleEvery(0.2, obs)); err != nil {
+		panic(err)
+	}
 
 	fmt.Println("CO (o) and O (x) coverage vs time, ZGB model, RSM:")
 	fmt.Print(trace.ASCIIPlot(16, 72, "ox", co, o))
+	cfg := sess.Config()
+	rsm := sess.Engine().(*parsurf.RSM) // concrete engine for its trial counter
 	fmt.Printf("final: CO %.3f, O %.3f, vacant %.3f after %.1f time units (%d trials)\n",
-		cfg.Coverage(1), cfg.Coverage(2), cfg.Coverage(0), sim.Time(), sim.Trials())
+		cfg.Coverage(1), cfg.Coverage(2), cfg.Coverage(0), sess.Engine().Time(), rsm.Trials())
 }

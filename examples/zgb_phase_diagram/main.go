@@ -1,17 +1,66 @@
 // ZGB phase diagram: sweep the CO fraction y across the kinetic phase
 // transitions of the Ziff–Gulari–Barshad model and report coverages,
-// CO2 rate and the estimated transition points y1 and y2.
+// CO2 rate and the estimated transition points y1 and y2. Each point is
+// a Session running the model-free "ziff" engine at a different y.
 //
 //	go run ./examples/zgb_phase_diagram [-l 48] [-fine]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
+	"parsurf"
 	"parsurf/internal/trace"
 	"parsurf/internal/ziff"
 )
+
+// measure runs one phase-diagram point through the Session API: equil
+// MC steps of relaxation, then measure MC steps of averaging (the ziff
+// clock counts MC steps). A poisoned lattice is inert, so both phases
+// stop early when poisoning is detected instead of burning the full
+// budget on a frozen surface.
+func measure(ctx context.Context, l int, y float64, equil, measure int, seed uint64) ziff.PhasePoint {
+	sess, err := parsurf.NewSession(
+		parsurf.WithLattice(l, l),
+		parsurf.WithEngine("ziff", parsurf.COFraction(y)),
+		parsurf.WithSeed(seed),
+	)
+	if err != nil {
+		panic(err)
+	}
+	z := sess.Engine().(*parsurf.ZiffZGB)
+	step := func() {
+		if _, err := sess.Run(ctx, parsurf.ForSteps(1)); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < equil && !z.Poisoned(); i++ {
+		step()
+	}
+	co2Before := z.CO2Count()
+	cfg := sess.Config()
+	var sumCO, sumO, sumE float64
+	steps := 0
+	for i := 0; i < measure; i++ {
+		step()
+		steps++
+		sumCO += cfg.Coverage(ziff.CO)
+		sumO += cfg.Coverage(ziff.O)
+		sumE += cfg.Coverage(ziff.Empty)
+		if z.Poisoned() {
+			break
+		}
+	}
+	pt := ziff.PhasePoint{Y: y, Poisoned: z.Poisoned()}
+	n := float64(sess.Lattice().N())
+	pt.CoCO = sumCO / float64(steps)
+	pt.CoO = sumO / float64(steps)
+	pt.CoEmpty = sumE / float64(steps)
+	pt.Rate = float64(z.CO2Count()-co2Before) / float64(steps) / n
+	return pt
+}
 
 func main() {
 	l := flag.Int("l", 48, "lattice side")
@@ -27,8 +76,12 @@ func main() {
 		ys = append(ys, y)
 	}
 
-	equil, measure := 300, 100
-	points := ziff.Sweep(*l, ys, equil, measure, 42)
+	ctx := context.Background()
+	equil, meas := 300, 100
+	points := make([]ziff.PhasePoint, len(ys))
+	for i, y := range ys {
+		points[i] = measure(ctx, *l, y, equil, meas, 42+uint64(i))
+	}
 
 	rows := make([][]string, 0, len(points))
 	for _, p := range points {

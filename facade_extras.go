@@ -19,6 +19,8 @@ type (
 	Runner = sim.Runner
 	// Observer receives samples of the live configuration.
 	Observer = sim.Observer
+	// ObserverFunc adapts a plain function to the Observer interface.
+	ObserverFunc = sim.ObserverFunc
 	// CoverageObserver records per-species coverage series.
 	CoverageObserver = sim.CoverageObserver
 	// SnapshotObserver stores configuration copies.

@@ -1,0 +1,3 @@
+module parsurf
+
+go 1.24

@@ -31,6 +31,7 @@ type BCA struct {
 	// DeterministicTime uses 1/(N·K) per trial instead of Exp(N·K).
 	DeterministicTime bool
 
+	steps     uint64
 	trials    uint64
 	successes uint64
 	rejected  uint64 // enabled reactions rejected for crossing an edge
@@ -98,6 +99,7 @@ func (b *BCA) Step() bool {
 		}
 	}
 	b.phase = (b.phase + 1) % len(b.tilings)
+	b.steps++
 	return true
 }
 

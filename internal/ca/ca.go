@@ -102,6 +102,7 @@ type NDCA struct {
 	// DeterministicTime uses 1/(N·K) per trial instead of Exp(N·K).
 	DeterministicTime bool
 
+	steps     uint64
 	trials    uint64
 	successes uint64
 }
@@ -137,6 +138,7 @@ func (a *NDCA) Step() bool {
 			a.time += a.src.Exp(nk)
 		}
 	}
+	a.steps++
 	return true
 }
 

@@ -61,6 +61,7 @@ type LPNDCA struct {
 	tracker    *rateTracker
 
 	time      float64
+	steps     uint64
 	trials    uint64
 	successes uint64
 }
@@ -192,12 +193,14 @@ func (e *LPNDCA) Step() bool {
 						e.time += e.src.Exp(nk)
 					}
 				}
+				e.steps++
 				return true
 			}
 			e.runInChunk(ci, l, -1)
 		}
 		remaining -= l
 	}
+	e.steps++
 	return true
 }
 

@@ -46,18 +46,53 @@ func RunUntil(sim Simulator, t float64) int {
 }
 
 // Sample runs sim and records observe(time) at every multiple of dt up
-// to tEnd, starting at the current time. The observation function reads
-// the live configuration through the closure.
+// to tEnd, starting at the current time, plus a final sample at tEnd
+// exactly when tEnd is not on the dt grid (so the tail of the run is
+// never dropped). The observation function reads the live configuration
+// through the closure.
 func Sample(sim Simulator, dt, tEnd float64, observe func(t float64)) {
-	next := sim.Time()
+	SampleFunc(sim.Time,
+		func(t float64) bool { RunUntil(sim, t); return true },
+		dt, tEnd,
+		func() { observe(sim.Time()) })
+}
+
+// SampleFunc drives the dt sampling schedule shared by Sample and the
+// context-aware runners: observe fires at every grid point
+// t0, t0+dt, …, plus once at tEnd exactly when the grid misses it.
+// runTo must advance the simulation until its clock reaches t (or it
+// can advance no further) and report whether to continue; returning
+// false stops the schedule immediately *without* observing (external
+// cancellation). An absorbing state — the clock still short of the
+// requested grid point after runTo — records one final sample and
+// stops.
+func SampleFunc(timeOf func() float64, runTo func(t float64) bool, dt, tEnd float64, observe func()) {
+	next := timeOf()
+	if next > tEnd {
+		return
+	}
+	last := next
 	for next <= tEnd {
-		RunUntil(sim, next)
-		observe(sim.Time())
-		if sim.Time() < next {
-			// Absorbing state before the sample point: record once and
+		if !runTo(next) {
+			return
+		}
+		observe()
+		if timeOf() < next {
+			// Absorbing state before the sample point: recorded once,
 			// stop.
 			return
 		}
+		last = next
 		next += dt
+	}
+	// Tail sample at tEnd, unless the grid covered it — either exactly
+	// (last == tEnd) or by floating-point drift leaving the clock
+	// already past tEnd, where a second observe would duplicate the
+	// final sample.
+	if last < tEnd && timeOf() < tEnd {
+		if !runTo(tEnd) {
+			return
+		}
+		observe()
 	}
 }

@@ -23,6 +23,9 @@ type FRM struct {
 	queue          *eventq.Queue
 	changedScratch []int
 	events         uint64
+	// pendingRate is Σ k_i over all scheduled instances, maintained
+	// incrementally so TotalRate is O(1).
+	pendingRate float64
 }
 
 // NewFRM builds the engine and schedules all initially enabled
@@ -37,6 +40,7 @@ func NewFRM(cm *model.Compiled, cfg *lattice.Config, src *rng.Source) *FRM {
 		for s := 0; s < n; s++ {
 			if cm.Enabled(f.cells, rt, s) {
 				f.queue.Schedule(f.key(rt, s), f.time+src.Exp(cm.Types[rt].Rate))
+				f.pendingRate += cm.Types[rt].Rate
 			}
 		}
 	}
@@ -60,9 +64,10 @@ func (f *FRM) refresh(rt, s int) {
 	if f.cm.Enabled(f.cells, rt, s) {
 		if !f.queue.Contains(k) {
 			f.queue.Schedule(k, f.time+f.src.Exp(f.cm.Types[rt].Rate))
+			f.pendingRate += f.cm.Types[rt].Rate
 		}
-	} else {
-		f.queue.Remove(k)
+	} else if f.queue.Remove(k) {
+		f.pendingRate -= f.cm.Types[rt].Rate
 	}
 }
 
@@ -75,6 +80,7 @@ func (f *FRM) Step() bool {
 	}
 	f.time = ev.Time
 	rt, s := f.unkey(ev.Key)
+	f.pendingRate -= f.cm.Types[rt].Rate
 
 	f.changedScratch = f.cm.ChangedSites(f.changedScratch[:0], rt, s)
 	f.cm.Execute(f.cells, rt, s)

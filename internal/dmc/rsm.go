@@ -24,6 +24,7 @@ type RSM struct {
 	src   *rng.Source
 
 	time      float64
+	steps     uint64
 	trials    uint64
 	successes uint64
 
@@ -74,6 +75,7 @@ func (r *RSM) Step() bool {
 	for i := 0; i < n; i++ {
 		r.Trial()
 	}
+	r.steps++
 	return true
 }
 

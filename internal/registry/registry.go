@@ -1,0 +1,245 @@
+// Package registry is the central name → engine table of the
+// repository: every simulation engine package (internal/dmc,
+// internal/ca, internal/core, internal/parallel, internal/ziff)
+// registers a named factory here from its init function, and the public
+// façade resolves engines by string name with per-engine option
+// validation.
+//
+// The registry is what makes the paper's engine comparison a first-class
+// operation: `New("rsm", …)` and `New("lpndca", …)` build interchangeable
+// Engine values, so commands, examples and the Session/ensemble layers
+// need no per-engine dispatch switches.
+//
+// Import cycle note: engine packages import registry (to register), so
+// registry must not import any engine package. The Engine interface
+// therefore restates the dmc.Simulator contract (Step/Time/Config)
+// rather than embedding it; every dmc.Simulator implementation that adds
+// Name/TotalRate/Steps satisfies both interfaces.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parsurf/internal/lattice"
+	"parsurf/internal/model"
+	"parsurf/internal/partition"
+	"parsurf/internal/rng"
+)
+
+// Engine is the uniform contract of every registered engine. It is a
+// superset of dmc.Simulator: the three simulation methods plus identity
+// and bookkeeping accessors the comparison layers need.
+type Engine interface {
+	// Step advances the simulation by one algorithm-specific unit (one
+	// MC step of N trials for trial-based engines, one reaction event
+	// for event-based engines). It reports false when the system cannot
+	// evolve further (absorbing state).
+	Step() bool
+	// Time returns the current simulated time.
+	Time() float64
+	// Config returns the live configuration.
+	Config() *lattice.Config
+	// Name returns the engine's registry name (e.g. "rsm", "lpndca").
+	Name() string
+	// TotalRate returns the engine's aggregate transition rate: the
+	// state-dependent enabled propensity for bookkeeping engines (VSSM,
+	// FRM) and the constant trial rate N·K for trial-based engines.
+	TotalRate() float64
+	// Steps returns the number of completed Step calls.
+	Steps() uint64
+}
+
+// OptionSet is a bitmask naming the Options fields an engine accepts;
+// New rejects options outside the engine's declared set.
+type OptionSet uint32
+
+const (
+	// OptL is the trials-per-chunk-selection parameter of L-PNDCA.
+	OptL OptionSet = 1 << iota
+	// OptStrategy is the L-PNDCA chunk-selection strategy.
+	OptStrategy
+	// OptPartition is a site partition (PNDCA, L-PNDCA).
+	OptPartition
+	// OptTypeSplit is the Ω×T reaction-type split (typepart).
+	OptTypeSplit
+	// OptWorkers is the sweep-goroutine / strip count.
+	OptWorkers
+	// OptY is the ZGB CO impingement fraction.
+	OptY
+	// OptBlocks is the BCA block geometry.
+	OptBlocks
+	// OptDeterministicTime replaces exponential clock increments with
+	// their mean.
+	OptDeterministicTime
+)
+
+var optionNames = []struct {
+	bit  OptionSet
+	name string
+}{
+	{OptL, "L"},
+	{OptStrategy, "strategy"},
+	{OptPartition, "partition"},
+	{OptTypeSplit, "typesplit"},
+	{OptWorkers, "workers"},
+	{OptY, "y"},
+	{OptBlocks, "blocks"},
+	{OptDeterministicTime, "deterministic-time"},
+}
+
+func (s OptionSet) String() string {
+	var names []string
+	for _, o := range optionNames {
+		if s&o.bit != 0 {
+			names = append(names, o.name)
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// Options carries every per-engine construction parameter. The zero
+// value means "engine defaults"; each factory consumes the fields its
+// engine understands, and New rejects fields set for an engine that does
+// not accept them.
+type Options struct {
+	// L is the L-PNDCA trials per chunk selection (0 = engine default).
+	L int
+	// Strategy is the L-PNDCA chunk-selection rule by name: "order",
+	// "randomorder", "random" or "rates" ("" = engine default).
+	Strategy string
+	// Partition overrides the default site partition (nil = engine
+	// default, the five-chunk von Neumann partition with a modular
+	// colouring fallback). Caller-supplied partitions are trusted, so
+	// deliberately invalid partitions remain usable in experiments.
+	Partition *partition.Partition
+	// TypeSplit overrides the default Ω×T split (nil = Table II split
+	// by direction).
+	TypeSplit *partition.TypeSplit
+	// Workers is the sweep-goroutine count (PNDCA, typepart) or strip
+	// count (DDRSM); 0 = sequential / engine default.
+	Workers int
+	// Y is the ZGB CO fraction; meaningful only when HasY is set.
+	Y float64
+	// HasY marks Y as explicitly set (y = 0 is a valid, if degenerate,
+	// CO fraction, so presence cannot be inferred from the value).
+	HasY bool
+	// BlockW, BlockH are the BCA block dimensions (0 = engine default).
+	BlockW, BlockH int
+	// DeterministicTime replaces exponential clock increments with
+	// their mean 1/(N·K).
+	DeterministicTime bool
+}
+
+// set returns the bitmask of fields that deviate from the zero value.
+func (o Options) set() OptionSet {
+	var s OptionSet
+	if o.L != 0 {
+		s |= OptL
+	}
+	if o.Strategy != "" {
+		s |= OptStrategy
+	}
+	if o.Partition != nil {
+		s |= OptPartition
+	}
+	if o.TypeSplit != nil {
+		s |= OptTypeSplit
+	}
+	if o.Workers != 0 {
+		s |= OptWorkers
+	}
+	if o.HasY {
+		s |= OptY
+	}
+	if o.BlockW != 0 || o.BlockH != 0 {
+		s |= OptBlocks
+	}
+	if o.DeterministicTime {
+		s |= OptDeterministicTime
+	}
+	return s
+}
+
+// Factory builds an engine over a compiled model, a configuration and a
+// random source. cm is nil for model-free engines (Spec.ModelFree).
+type Factory func(cm *model.Compiled, cfg *lattice.Config, src *rng.Source, o Options) (Engine, error)
+
+// Spec describes one registered engine.
+type Spec struct {
+	// Name is the registry key ("rsm", "vssm", …).
+	Name string
+	// Doc is a one-line description with the paper section.
+	Doc string
+	// Accepts is the set of options the engine's factory understands.
+	Accepts OptionSet
+	// ModelFree marks engines that need no compiled model (ziff).
+	ModelFree bool
+	// New is the factory.
+	New Factory
+}
+
+var engines = map[string]Spec{}
+
+// Register adds an engine spec; engine packages call it from init.
+// Duplicate names and incomplete specs panic: both are programming
+// errors caught at process start.
+func Register(s Spec) {
+	if s.Name == "" || s.New == nil {
+		panic("registry: Register with empty name or nil factory")
+	}
+	if _, dup := engines[s.Name]; dup {
+		panic(fmt.Sprintf("registry: engine %q registered twice", s.Name))
+	}
+	engines[s.Name] = s
+}
+
+// Names returns the registered engine names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(engines))
+	for name := range engines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Specs returns every registered spec, sorted by name.
+func Specs() []Spec {
+	out := make([]Spec, 0, len(engines))
+	for _, name := range Names() {
+		out = append(out, engines[name])
+	}
+	return out
+}
+
+// Lookup returns the spec registered under name.
+func Lookup(name string) (Spec, bool) {
+	s, ok := engines[name]
+	return s, ok
+}
+
+// New builds the engine registered under name, validating that every
+// set option is one the engine accepts.
+func New(name string, cm *model.Compiled, cfg *lattice.Config, src *rng.Source, o Options) (Engine, error) {
+	spec, ok := engines[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown engine %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	if cfg == nil {
+		return nil, fmt.Errorf("registry: engine %q needs a configuration", name)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("registry: engine %q needs a random source", name)
+	}
+	if cm == nil && !spec.ModelFree {
+		return nil, fmt.Errorf("registry: engine %q needs a compiled model", name)
+	}
+	if extra := o.set() &^ spec.Accepts; extra != 0 {
+		return nil, fmt.Errorf("registry: engine %q does not accept option(s) %s (accepts: %s)",
+			name, extra, spec.Accepts)
+	}
+	return spec.New(cm, cfg, src, o)
+}

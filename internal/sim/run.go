@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"context"
+
+	"parsurf/internal/dmc"
+	"parsurf/internal/lattice"
+)
+
+// ObserverFunc adapts a plain function to the Observer interface.
+type ObserverFunc func(t float64, cfg *lattice.Config)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(t float64, cfg *lattice.Config) { f(t, cfg) }
+
+// RunContext advances s until its clock reaches tEnd, observing the
+// live configuration at every dt of simulated time (plus a final sample
+// at tEnd exactly when tEnd is not on the grid — the same sampling
+// schedule as dmc.Sample). dt <= 0 disables sampling. The context is
+// checked every engine step, so cancellation latency is one Step call;
+// on cancellation the context error is returned with the progress so
+// far. An absorbing state records one final sample and stops early.
+func RunContext(ctx context.Context, s dmc.Simulator, dt, tEnd float64, observers ...Observer) (steps, samples int, err error) {
+	observe := func() {
+		cfg := s.Config()
+		t := s.Time()
+		for _, obs := range observers {
+			obs.Observe(t, cfg)
+		}
+		samples++
+	}
+	// runTo is RunUntil with a per-step context check.
+	runTo := func(t float64) (alive bool, err error) {
+		for s.Time() < t {
+			if err := ctx.Err(); err != nil {
+				return true, err
+			}
+			if !s.Step() {
+				return false, nil
+			}
+			steps++
+		}
+		return true, nil
+	}
+
+	if dt <= 0 {
+		_, err = runTo(tEnd)
+		return steps, samples, err
+	}
+	// The grid schedule (including the tail-sample rule) is shared with
+	// dmc.Sample; cancellation surfaces through the runTo return plus
+	// the recorded error.
+	dmc.SampleFunc(s.Time,
+		func(t float64) bool {
+			// An absorbed engine is detected by the schedule via the
+			// clock; only cancellation stops the schedule from here.
+			_, err = runTo(t)
+			return err == nil
+		},
+		dt, tEnd, observe)
+	return steps, samples, err
+}
+
+// StepContext advances s by n Step calls (or until an absorbing state),
+// checking the context between steps.
+func StepContext(ctx context.Context, s dmc.Simulator, n int) (steps int, err error) {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return steps, err
+		}
+		if !s.Step() {
+			return steps, nil
+		}
+		steps++
+	}
+	return steps, nil
+}

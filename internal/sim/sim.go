@@ -182,8 +182,14 @@ func NewSteadyState(window int, tol float64) *SteadyState {
 }
 
 // Add records a value and reports whether the series has equilibrated.
+// Only the last 2·Window values are retained, so memory stays bounded
+// on arbitrarily long runs.
 func (ss *SteadyState) Add(v float64) bool {
 	ss.values = append(ss.values, v)
+	if keep := 2 * ss.Window; len(ss.values) > keep {
+		copy(ss.values, ss.values[len(ss.values)-keep:])
+		ss.values = ss.values[:keep]
+	}
 	return ss.Reached()
 }
 

@@ -168,3 +168,24 @@ func TestSteadyStateWithSimulation(t *testing.T) {
 		t.Fatal("steady state never detected in 400 MC steps")
 	}
 }
+
+func TestSteadyStateMemoryBounded(t *testing.T) {
+	ss := NewSteadyState(10, 0.01)
+	for i := 0; i < 100000; i++ {
+		ss.Add(float64(i % 7))
+	}
+	if len(ss.values) > 2*ss.Window {
+		t.Fatalf("values grew to %d, want <= %d", len(ss.values), 2*ss.Window)
+	}
+	// Detection still works on the retained tail: a plateau after the
+	// noise equilibrates within two windows.
+	steadyAt := -1
+	for i := 0; i < 2*ss.Window; i++ {
+		if ss.Add(3.0) && steadyAt == -1 {
+			steadyAt = i
+		}
+	}
+	if steadyAt == -1 {
+		t.Fatal("plateau never detected after long run")
+	}
+}

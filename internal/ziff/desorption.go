@@ -43,6 +43,7 @@ func (z *WithDesorption) Step() bool {
 	for i := 0; i < z.lat.N(); i++ {
 		z.Trial()
 	}
+	z.steps++
 	return true
 }
 

@@ -35,6 +35,7 @@ type ZGB struct {
 	// Y is the CO fraction of the impinging gas.
 	Y float64
 
+	steps  uint64
 	trials uint64
 	co2    uint64
 	nbOff  []lattice.Vec
@@ -42,12 +43,19 @@ type ZGB struct {
 
 // New returns a ZGB simulation with CO fraction y on an empty lattice.
 func New(lat *lattice.Lattice, src *rng.Source, y float64) *ZGB {
+	return NewOn(lattice.NewConfig(lat), src, y)
+}
+
+// NewOn returns a ZGB simulation with CO fraction y operating on cfg in
+// place (the classic dynamics start from an empty surface; a pre-seeded
+// cfg is accepted as-is).
+func NewOn(cfg *lattice.Config, src *rng.Source, y float64) *ZGB {
 	if y < 0 || y > 1 {
 		panic(fmt.Sprintf("ziff: CO fraction %v outside [0,1]", y))
 	}
 	return &ZGB{
-		lat:   lat,
-		cfg:   lattice.NewConfig(lat),
+		lat:   cfg.Lattice(),
+		cfg:   cfg,
 		src:   src,
 		Y:     y,
 		nbOff: lattice.Axes4(),
@@ -123,6 +131,7 @@ func (z *ZGB) Step() bool {
 	for i := 0; i < z.lat.N(); i++ {
 		z.Trial()
 	}
+	z.steps++
 	return true
 }
 

@@ -23,6 +23,24 @@
 //     study (Fig. 7), and a channel-based domain-decomposition RSM
 //     baseline.
 //
+// The recommended entry point is the Session API: every engine is
+// registered under a string name (Engines lists them) and a Session
+// wires model, lattice, engine and seed in one declarative call:
+//
+//	sess, err := parsurf.NewSession(
+//		parsurf.WithModel(parsurf.NewZGBModel(parsurf.DefaultZGBRates())),
+//		parsurf.WithLattice(256, 256),
+//		parsurf.WithEngine("lpndca", parsurf.Trials(100), parsurf.Strategy(parsurf.RateWeighted)),
+//		parsurf.WithSeed(42),
+//	)
+//	stats, err := sess.Run(ctx, parsurf.Until(200), parsurf.SampleEvery(0.25, obs))
+//
+// RunEnsemble executes independent replicas of a SessionSpec on split
+// RNG streams across goroutines and merges their series — the workhorse
+// for phase-diagram and criteria sweeps. The direct constructors
+// (NewRSM, NewLPNDCA, …) remain for fine-grained control; a Session
+// with the same seed reproduces their trajectories bit for bit.
+//
 // The façade in this package re-exports the pieces needed for everyday
 // use; the sub-packages under internal/ carry the implementations and
 // their documentation.

@@ -1,0 +1,430 @@
+package parsurf
+
+import (
+	"context"
+	"fmt"
+
+	"parsurf/internal/core"
+	"parsurf/internal/registry"
+	"parsurf/internal/rng"
+	"parsurf/internal/sim"
+)
+
+// Engine is the uniform contract of every simulation engine: the
+// dmc.Simulator methods (Step/Time/Config) plus identity and
+// bookkeeping accessors (Name/TotalRate/Steps). Every engine of the
+// paper's comparison is constructible by name through NewEngine or a
+// Session; Engines lists the names.
+type Engine = registry.Engine
+
+// EngineSpec describes one registered engine (name, one-line doc,
+// accepted options).
+type EngineSpec = registry.Spec
+
+// Engines returns the names of every registered engine, sorted.
+func Engines() []string { return registry.Names() }
+
+// EngineSpecs returns the full registry listing, sorted by name.
+func EngineSpecs() []EngineSpec { return registry.Specs() }
+
+// LookupEngine returns the spec registered under name.
+func LookupEngine(name string) (EngineSpec, bool) { return registry.Lookup(name) }
+
+// Option bits of EngineSpec.Accepts: consumers (e.g. CLIs) can forward
+// a flag to every engine that understands it without per-engine
+// dispatch.
+const (
+	OptL                 = registry.OptL
+	OptStrategy          = registry.OptStrategy
+	OptPartition         = registry.OptPartition
+	OptTypeSplit         = registry.OptTypeSplit
+	OptWorkers           = registry.OptWorkers
+	OptY                 = registry.OptY
+	OptBlocks            = registry.OptBlocks
+	OptDeterministicTime = registry.OptDeterministicTime
+)
+
+// EngineOption configures one engine construction. Options are applied
+// at build time, when the model and lattice are known, so partition and
+// type-split builders can depend on both. Passing an option the chosen
+// engine does not understand is a construction error.
+type EngineOption func(m *Model, lat *Lattice, o *registry.Options) error
+
+// Trials sets the L-PNDCA trials per chunk selection (the paper's L).
+func Trials(l int) EngineOption {
+	return func(_ *Model, _ *Lattice, o *registry.Options) error {
+		o.L = l
+		return nil
+	}
+}
+
+// Strategy sets the L-PNDCA chunk-selection strategy (AllInOrder,
+// AllRandomOrder, RandomReplacement or RateWeighted).
+func Strategy(s core.Strategy) EngineOption {
+	return func(_ *Model, _ *Lattice, o *registry.Options) error {
+		o.Strategy = s.String()
+		return nil
+	}
+}
+
+// StrategyName sets the L-PNDCA chunk-selection strategy by its CLI
+// name: "order", "randomorder", "random" or "rates".
+func StrategyName(name string) EngineOption {
+	return func(_ *Model, _ *Lattice, o *registry.Options) error {
+		o.Strategy = name
+		return nil
+	}
+}
+
+// Workers sets the sweep-goroutine count (pndca, typepart) or strip
+// count (ddrsm). Partitioned sweeps are bit-identical for every worker
+// count.
+func Workers(n int) EngineOption {
+	return func(_ *Model, _ *Lattice, o *registry.Options) error {
+		o.Workers = n
+		return nil
+	}
+}
+
+// COFraction sets the ZGB CO impingement fraction y (ziff engine).
+func COFraction(y float64) EngineOption {
+	return func(_ *Model, _ *Lattice, o *registry.Options) error {
+		o.Y = y
+		o.HasY = true
+		return nil
+	}
+}
+
+// BlockSize sets the BCA block dimensions.
+func BlockSize(w, h int) EngineOption {
+	return func(_ *Model, _ *Lattice, o *registry.Options) error {
+		o.BlockW, o.BlockH = w, h
+		return nil
+	}
+}
+
+// DeterministicClock replaces the exponential clock increments of the
+// trial-based engines with their mean 1/(N·K).
+func DeterministicClock() EngineOption {
+	return func(_ *Model, _ *Lattice, o *registry.Options) error {
+		o.DeterministicTime = true
+		return nil
+	}
+}
+
+// UsePartition supplies the site partition for pndca/lpndca directly.
+func UsePartition(p *Partition) EngineOption {
+	return func(_ *Model, _ *Lattice, o *registry.Options) error {
+		o.Partition = p
+		return nil
+	}
+}
+
+// PartitionWith builds the site partition for pndca/lpndca from the
+// session's model and lattice at construction time, e.g.
+//
+//	PartitionWith(func(m *Model, lat *Lattice) (*Partition, error) {
+//		return ModularColoring(m, lat, 16)
+//	})
+func PartitionWith(build func(m *Model, lat *Lattice) (*Partition, error)) EngineOption {
+	return func(m *Model, lat *Lattice, o *registry.Options) error {
+		p, err := build(m, lat)
+		if err != nil {
+			return err
+		}
+		o.Partition = p
+		return nil
+	}
+}
+
+// UseTypeSplit supplies the Ω×T reaction-type split for typepart.
+func UseTypeSplit(ts *TypeSplit) EngineOption {
+	return func(_ *Model, _ *Lattice, o *registry.Options) error {
+		o.TypeSplit = ts
+		return nil
+	}
+}
+
+// NewEngine constructs the named engine over explicit pieces (a
+// compiled model, a configuration and a random source), validating the
+// options against what the engine accepts. Model-free engines (ziff)
+// accept a nil cm. This is the low-level entry; NewSession owns the
+// wiring for everyday use.
+func NewEngine(name string, cm *Compiled, cfg *Config, src *RNG, opts ...EngineOption) (Engine, error) {
+	var o registry.Options
+	var m *Model
+	var lat *Lattice
+	if cm != nil {
+		m, lat = cm.Model, cm.Lat
+	} else if cfg != nil {
+		lat = cfg.Lattice()
+	}
+	for _, opt := range opts {
+		if err := opt(m, lat, &o); err != nil {
+			return nil, err
+		}
+	}
+	return registry.New(name, cm, cfg, src, o)
+}
+
+// SessionSpec is a replayable description of a simulation: model,
+// lattice, engine (by name, with options), seed and initial
+// configuration. Build one with NewSpec, instantiate with Session, or
+// hand it to RunEnsemble to run many replicas.
+type SessionSpec struct {
+	model   *Model
+	l0, l1  int
+	engine  string
+	engOpts []EngineOption
+	seed    uint64
+	init    func(cfg *Config, src *RNG)
+}
+
+// SessionOption configures a SessionSpec.
+type SessionOption func(*SessionSpec) error
+
+// WithModel sets the reaction model. Required for every engine except
+// the model-free ones (ziff).
+func WithModel(m *Model) SessionOption {
+	return func(sp *SessionSpec) error {
+		sp.model = m
+		return nil
+	}
+}
+
+// WithLattice sets the periodic lattice extents (default 100×100).
+func WithLattice(l0, l1 int) SessionOption {
+	return func(sp *SessionSpec) error {
+		if l0 < 1 || l1 < 1 {
+			return fmt.Errorf("parsurf: lattice extents must be positive, got %dx%d", l0, l1)
+		}
+		sp.l0, sp.l1 = l0, l1
+		return nil
+	}
+}
+
+// WithEngine selects the engine by registry name with its options.
+func WithEngine(name string, opts ...EngineOption) SessionOption {
+	return func(sp *SessionSpec) error {
+		sp.engine = name
+		sp.engOpts = opts
+		return nil
+	}
+}
+
+// WithSeed sets the deterministic base seed (default 1). The engine
+// draws from NewRNG(seed) exactly as the direct constructors do, so a
+// Session reproduces their trajectories bit for bit.
+func WithSeed(seed uint64) SessionOption {
+	return func(sp *SessionSpec) error {
+		sp.seed = seed
+		return nil
+	}
+}
+
+// WithInit installs an initial-configuration hook, run once before the
+// engine is built. It receives a random stream split off the session
+// seed (so using it does not perturb the engine's stream) — ignore it
+// if the initialisation needs its own seeding discipline.
+func WithInit(init func(cfg *Config, src *RNG)) SessionOption {
+	return func(sp *SessionSpec) error {
+		sp.init = init
+		return nil
+	}
+}
+
+// initStreamID derives the WithInit stream from the session seed; any
+// fixed id distinct from the ensemble replica ids works.
+const initStreamID = 0x696e6974 // "init"
+
+// NewSpec validates and returns a replayable session spec.
+func NewSpec(opts ...SessionOption) (*SessionSpec, error) {
+	sp := &SessionSpec{l0: 100, l1: 100, seed: 1}
+	for _, opt := range opts {
+		if err := opt(sp); err != nil {
+			return nil, err
+		}
+	}
+	if sp.engine == "" {
+		return nil, fmt.Errorf("parsurf: session needs an engine (WithEngine); registered: %v", Engines())
+	}
+	spec, ok := registry.Lookup(sp.engine)
+	if !ok {
+		return nil, fmt.Errorf("parsurf: unknown engine %q (registered: %v)", sp.engine, Engines())
+	}
+	if sp.model == nil && !spec.ModelFree {
+		return nil, fmt.Errorf("parsurf: engine %q needs a model (WithModel)", sp.engine)
+	}
+	return sp, nil
+}
+
+// Session returns a ready-to-run session built from the spec.
+func (sp *SessionSpec) Session() (*Session, error) {
+	return sp.build(rng.New(sp.seed))
+}
+
+// build wires lattice → compile → configuration → init → engine around
+// the given engine stream.
+func (sp *SessionSpec) build(src *RNG) (*Session, error) {
+	lat := NewLattice(sp.l0, sp.l1)
+	var cm *Compiled
+	if sp.model != nil {
+		var err error
+		if cm, err = Compile(sp.model, lat); err != nil {
+			return nil, err
+		}
+	}
+	cfg := NewConfig(lat)
+	if sp.init != nil {
+		sp.init(cfg, src.Split(initStreamID))
+	}
+	var o registry.Options
+	for _, opt := range sp.engOpts {
+		if err := opt(sp.model, lat, &o); err != nil {
+			return nil, err
+		}
+	}
+	eng, err := registry.New(sp.engine, cm, cfg, src, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{spec: sp, lat: lat, cm: cm, cfg: cfg, eng: eng}, nil
+}
+
+// Session is one wired simulation: a lattice, a compiled model (when
+// the engine needs one), a configuration and an engine, ready to Run.
+type Session struct {
+	spec *SessionSpec
+	lat  *Lattice
+	cm   *Compiled
+	cfg  *Config
+	eng  Engine
+}
+
+// NewSession builds a session in one call:
+//
+//	sess, err := parsurf.NewSession(
+//		parsurf.WithModel(parsurf.NewZGBModel(parsurf.DefaultZGBRates())),
+//		parsurf.WithLattice(256, 256),
+//		parsurf.WithEngine("lpndca", parsurf.Trials(100), parsurf.Strategy(parsurf.RateWeighted)),
+//		parsurf.WithSeed(42),
+//	)
+func NewSession(opts ...SessionOption) (*Session, error) {
+	sp, err := NewSpec(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sp.Session()
+}
+
+// Engine returns the session's engine. Type-assert to the concrete
+// engine type (*RSM, *LPNDCA, …) for engine-specific counters.
+func (s *Session) Engine() Engine { return s.eng }
+
+// Config returns the live configuration.
+func (s *Session) Config() *Config { return s.cfg }
+
+// Lattice returns the session lattice.
+func (s *Session) Lattice() *Lattice { return s.lat }
+
+// Model returns the session model (nil for model-free engines).
+func (s *Session) Model() *Model { return s.spec.model }
+
+// Compiled returns the compiled model (nil for model-free engines).
+func (s *Session) Compiled() *Compiled { return s.cm }
+
+// NumSpecies returns the number of species of the session's model, or
+// the three ZGB species for the model-free ziff engine.
+func (s *Session) NumSpecies() int {
+	if s.spec.model != nil {
+		return s.spec.model.NumSpecies()
+	}
+	return 3 // ziff: vacant, CO, O
+}
+
+// runSpec collects Run options.
+type runSpec struct {
+	tEnd     float64
+	hasEnd   bool
+	steps    int
+	hasSteps bool
+	dt       float64
+	obs      []sim.Observer
+}
+
+// RunOption configures one Session.Run call.
+type RunOption func(*runSpec)
+
+// Until runs the engine until its clock reaches t.
+func Until(t float64) RunOption {
+	return func(r *runSpec) {
+		r.tEnd = t
+		r.hasEnd = true
+	}
+}
+
+// ForSteps runs the engine for n Step calls instead of a time horizon.
+func ForSteps(n int) RunOption {
+	return func(r *runSpec) {
+		r.steps = n
+		r.hasSteps = true
+	}
+}
+
+// SampleEvery observes the live configuration every dt of simulated
+// time (only meaningful with Until). A final sample is taken at the end
+// time exactly when it is not on the dt grid.
+func SampleEvery(dt float64, obs ...Observer) RunOption {
+	return func(r *runSpec) {
+		r.dt = dt
+		r.obs = append(r.obs, obs...)
+	}
+}
+
+// RunStats summarises one Run call.
+type RunStats struct {
+	// Steps is the number of engine Step calls made.
+	Steps int
+	// Samples is the number of observation points.
+	Samples int
+	// Time is the engine clock after the run.
+	Time float64
+}
+
+// Run advances the session per the options, fanning samples out to the
+// observers, honouring context cancellation between engine steps. An
+// absorbing state ends the run early without error; a cancelled context
+// returns ctx's error alongside the progress made.
+func (s *Session) Run(ctx context.Context, opts ...RunOption) (RunStats, error) {
+	var r runSpec
+	for _, opt := range opts {
+		opt(&r)
+	}
+	if r.hasEnd && r.hasSteps {
+		return RunStats{}, fmt.Errorf("parsurf: Run with both Until and ForSteps")
+	}
+	if !r.hasEnd && !r.hasSteps {
+		return RunStats{}, fmt.Errorf("parsurf: Run needs Until or ForSteps")
+	}
+	if r.hasSteps {
+		if len(r.obs) > 0 {
+			return RunStats{}, fmt.Errorf("parsurf: SampleEvery requires Until, not ForSteps")
+		}
+		steps, err := sim.StepContext(ctx, s.eng, r.steps)
+		return RunStats{Steps: steps, Time: s.eng.Time()}, err
+	}
+	steps, samples, err := sim.RunContext(ctx, s.eng, r.dt, r.tEnd, r.obs...)
+	return RunStats{Steps: steps, Samples: samples, Time: s.eng.Time()}, err
+}
+
+// zgbSpeciesNames are the species labels of the model-free ziff engine.
+var zgbSpeciesNames = []string{"*", "CO", "O"}
+
+// SpeciesNames returns the species labels of the session's model (the
+// ZGB labels for the model-free ziff engine).
+func (s *Session) SpeciesNames() []string {
+	if s.spec.model != nil {
+		return s.spec.model.Species
+	}
+	return zgbSpeciesNames
+}
