@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"parsurf"
+	"parsurf/internal/goldentrace"
 	"parsurf/internal/stats"
 )
 
@@ -364,5 +365,58 @@ func TestSampleNoDuplicateOnGridDrift(t *testing.T) {
 	}
 	if n := len(times); n != 1001 {
 		t.Fatalf("got %d samples, want 1001", n)
+	}
+}
+
+// goldenTraces are FNV-64a fingerprints of (configuration, time) after
+// every step of a fixed-seed run per engine, captured from the
+// implementation BEFORE the hot-loop flattening (closure-based
+// dependency enumeration, map-indexed event queue, byte enabled flags,
+// unbatched RNG). The flattened fast paths must reproduce every
+// trajectory bit for bit.
+// Exception: ddrsm's hash was re-captured after this PR made its clock
+// merge deterministic (worker-order subtotal summation) — the seed
+// implementation summed per-strip time increments in channel-arrival
+// order, so its clock float rounding varied run to run; configurations
+// were and remain identical.
+var goldenTraces = map[string]uint64{
+	"bca":      0x776d1cf099a3a672,
+	"ddrsm":    0x5a9f8603f13b6249,
+	"frm":      0xf48e9567d20323f2,
+	"lpndca":   0xca8a100f2c8d4bed,
+	"ndca":     0xb1aa4a182de9df79,
+	"pndca":    0xc31d8f90fd29642c,
+	"rsm":      0xedcb34c9d34f7099,
+	"syncndca": 0x8945c69eeec30d06,
+	"typepart": 0xd0532beee17730fb,
+	"vssm":     0x9a80065dff927007,
+	"ziff":     0x594b21eb7e43c3f2,
+}
+
+// Every engine must reproduce, bit for bit, the trajectory the
+// pre-flattening implementation produced for the same seed: identical
+// configurations after every step and identical clock values down to
+// the last float64 bit. The run parameters and the hash live in
+// internal/goldentrace, shared with cmd/goldengen (which regenerates
+// the table when a PR intentionally changes trajectories).
+func TestGoldenTracesBitIdentical(t *testing.T) {
+	m := parsurf.NewZGBModel(parsurf.DefaultZGBRates())
+	for _, name := range parsurf.Engines() {
+		want, ok := goldenTraces[name]
+		if !ok {
+			t.Errorf("engine %q has no golden trace; run cmd/goldengen and add it", name)
+			continue
+		}
+		lat := parsurf.NewSquareLattice(goldentrace.Side)
+		cm := parsurf.MustCompile(m, lat)
+		eng, err := parsurf.NewEngine(name, cm, parsurf.NewConfig(lat), parsurf.NewRNG(goldentrace.Seed))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := goldentrace.Fingerprint(eng, goldentrace.StepsFor(name))
+		if got != want {
+			t.Errorf("engine %q trace fingerprint 0x%016x, want golden 0x%016x — trajectory changed",
+				name, got, want)
+		}
 	}
 }

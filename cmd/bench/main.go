@@ -1,0 +1,200 @@
+// Command bench runs the paper-shaped performance workloads — the ZGB
+// CO-oxidation model on 64², 128² and 256² lattices — across every
+// registered engine and writes a BENCH_<date>.json trajectory file with
+// ns/event, events/sec and allocation counts. Committing one such file
+// per performance PR keeps the hot-path numbers accountable over time.
+//
+// Usage:
+//
+//	go run ./cmd/bench            # full workload set, writes BENCH_<date>.json
+//	go run ./cmd/bench -quick     # 64² only, reduced budgets (CI smoke)
+//	go run ./cmd/bench -o out.json -engines vssm,frm -sizes 128
+//
+// The "event" unit is one reaction trial for trial-based engines (one
+// MC step = N trials) and one executed reaction for the event-based
+// engines (VSSM, FRM), matching how the paper compares the methods.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"parsurf"
+)
+
+// eventEngines advance one executed reaction per Step; everything else
+// advances one MC step of N trials per Step.
+var eventEngines = map[string]bool{"vssm": true, "frm": true}
+
+// Result is one (engine, lattice) measurement, the JSON schema's unit.
+type Result struct {
+	Engine       string  `json:"engine"`
+	Model        string  `json:"model"`
+	Lattice      int     `json:"lattice"` // side length of the square lattice
+	Unit         string  `json:"unit"`    // "event" or "trial"
+	Steps        uint64  `json:"steps"`
+	Events       uint64  `json:"events"`
+	ElapsedNs    int64   `json:"elapsed_ns"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerOp  float64 `json:"allocs_per_event"`
+	BytesPerOp   float64 `json:"bytes_per_event"`
+}
+
+// File is the BENCH_<date>.json top level.
+type File struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOARCH    string   `json:"goarch"`
+	GOOS      string   `json:"goos"`
+	NumCPU    int      `json:"num_cpu"`
+	Quick     bool     `json:"quick"`
+	Seed      uint64   `json:"seed"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced budgets and 64² only (CI smoke)")
+	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
+	enginesFlag := flag.String("engines", "", "comma-separated engine subset (default all registered)")
+	sizesFlag := flag.String("sizes", "", "comma-separated lattice sides (default 64,128,256; -quick 64)")
+	seed := flag.Uint64("seed", 2003, "RNG seed shared by every workload")
+	flag.Parse()
+
+	sizes := []int{64, 128, 256}
+	if *quick {
+		sizes = []int{64}
+	}
+	if *sizesFlag != "" {
+		sizes = sizes[:0]
+		for _, tok := range strings.Split(*sizesFlag, ",") {
+			side, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || side < 8 {
+				fatalf("bad -sizes entry %q", tok)
+			}
+			sizes = append(sizes, side)
+		}
+	}
+	engines := parsurf.Engines()
+	if *enginesFlag != "" {
+		engines = engines[:0]
+		for _, tok := range strings.Split(*enginesFlag, ",") {
+			engines = append(engines, strings.TrimSpace(tok))
+		}
+	}
+
+	// Budgets: enough work to dominate timer noise and scheduling
+	// jitter, small enough that the full matrix stays under a couple of
+	// minutes.
+	eventBudget, stepBudget := uint64(1_000_000), uint64(40)
+	if *quick {
+		eventBudget, stepBudget = 30_000, 5
+	}
+
+	file := File{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		GOOS:      runtime.GOOS,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     *quick,
+		Seed:      *seed,
+	}
+	for _, side := range sizes {
+		for _, name := range engines {
+			res, err := measure(name, side, *seed, eventBudget, stepBudget)
+			if err != nil {
+				fatalf("%s @ %d²: %v", name, side, err)
+			}
+			file.Results = append(file.Results, res)
+			fmt.Printf("%-9s %4d²  %9.1f ns/%-5s  %12.0f ev/s  %6.2f allocs/ev\n",
+				res.Engine, res.Lattice, res.NsPerEvent, res.Unit,
+				res.EventsPerSec, res.AllocsPerOp)
+		}
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + file.Date + ".json"
+	}
+	blob, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s (%d results)\n", path, len(file.Results))
+}
+
+// measure times one (engine, side) workload: construct on the shared
+// ZGB model, warm up 10% of the budget so the bookkeeping engines run
+// in their steady state, then time the remaining steps.
+func measure(name string, side int, seed, eventBudget, stepBudget uint64) (Result, error) {
+	lat := parsurf.NewSquareLattice(side)
+	m := parsurf.NewZGBModel(parsurf.DefaultZGBRates())
+	cm := parsurf.MustCompile(m, lat)
+	eng, err := parsurf.NewEngine(name, cm, parsurf.NewConfig(lat), parsurf.NewRNG(seed))
+	if err != nil {
+		return Result{}, err
+	}
+
+	unit := "trial"
+	budget := stepBudget
+	perStep := uint64(lat.N())
+	if eventEngines[name] {
+		unit = "event"
+		budget = eventBudget
+		perStep = 1
+	}
+	warm := budget / 10
+	for i := uint64(0); i < warm; i++ {
+		if !eng.Step() {
+			return Result{}, fmt.Errorf("absorbed during warmup after %d steps", i)
+		}
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	steps := uint64(0)
+	for i := warm; i < budget; i++ {
+		if !eng.Step() {
+			break
+		}
+		steps++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if steps == 0 {
+		return Result{}, fmt.Errorf("no steps completed")
+	}
+
+	events := steps * perStep
+	return Result{
+		Engine:       name,
+		Model:        "zgb",
+		Lattice:      side,
+		Unit:         unit,
+		Steps:        steps,
+		Events:       events,
+		ElapsedNs:    elapsed.Nanoseconds(),
+		NsPerEvent:   float64(elapsed.Nanoseconds()) / float64(events),
+		EventsPerSec: float64(events) / elapsed.Seconds(),
+		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(events),
+		BytesPerOp:   float64(after.TotalAlloc-before.TotalAlloc) / float64(events),
+	}, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	os.Exit(1)
+}

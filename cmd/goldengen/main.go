@@ -1,0 +1,30 @@
+// Command goldengen regenerates the golden trace fingerprints embedded
+// in api_test.go (goldenTraces): one FNV-64a hash per registered engine
+// over the full configuration and clock bits after every step of a
+// fixed-seed ZGB run. Run it and paste the output into the table only
+// when a PR *intentionally* changes trajectories (and must say so in
+// its description) — performance PRs must leave every hash untouched,
+// which is what TestGoldenTracesBitIdentical enforces. The run
+// parameters and hash live in internal/goldentrace, shared with the
+// test, so the two cannot drift apart.
+package main
+
+import (
+	"fmt"
+
+	"parsurf"
+	"parsurf/internal/goldentrace"
+)
+
+func main() {
+	m := parsurf.NewZGBModel(parsurf.DefaultZGBRates())
+	for _, name := range parsurf.Engines() {
+		lat := parsurf.NewSquareLattice(goldentrace.Side)
+		cm := parsurf.MustCompile(m, lat)
+		eng, err := parsurf.NewEngine(name, cm, parsurf.NewConfig(lat), parsurf.NewRNG(goldentrace.Seed))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%q: 0x%016x,\n", name, goldentrace.Fingerprint(eng, goldentrace.StepsFor(name)))
+	}
+}

@@ -12,31 +12,35 @@ import (
 // currently enabled at the chunk's sites — the weights of §5 selection
 // way 4 ("a weighted selection according to the rates of enabled
 // reactions in each chunk"). Enabledness is tracked per (type, site)
-// and updated incrementally through the model's dependency offsets after
-// every executed reaction, VSSM-style.
+// in a packed bitset (one bit per pair instead of one byte, so the
+// whole table for a 128² ZGB system is ~27 KB and stays cache-resident)
+// and updated incrementally through the model's CSR dependency tables
+// after every executed reaction, VSSM-style.
 type rateTracker struct {
 	cm      *model.Compiled
 	cells   []lattice.Species
 	part    *partition.Partition
-	enabled [][]bool // [type][site]
+	enabled []uint64 // bitset over rt*N + s
+	n       int
 	weights *fenwick.Tree
 	scratch []int
 }
 
 func newRateTracker(cm *model.Compiled, cells []lattice.Species, part *partition.Partition) *rateTracker {
+	n := cm.Lat.N()
 	t := &rateTracker{
 		cm:      cm,
 		cells:   cells,
 		part:    part,
-		enabled: make([][]bool, cm.NumTypes()),
+		enabled: make([]uint64, (cm.NumTypes()*n+63)/64),
+		n:       n,
 		weights: fenwick.New(part.NumChunks()),
 	}
-	n := cm.Lat.N()
-	for rt := range t.enabled {
-		t.enabled[rt] = make([]bool, n)
+	for rt := 0; rt < cm.NumTypes(); rt++ {
 		for s := 0; s < n; s++ {
 			if cm.Enabled(cells, rt, s) {
-				t.enabled[rt][s] = true
+				w, m := t.bit(rt, s)
+				t.enabled[w] |= m
 				t.weights.Add(part.ChunkOf(s), cm.Types[rt].Rate)
 			}
 		}
@@ -44,13 +48,21 @@ func newRateTracker(cm *model.Compiled, cells []lattice.Species, part *partition
 	return t
 }
 
+// bit locates the enabledness bit of (rt, s) in the packed bitset.
+func (t *rateTracker) bit(rt, s int) (word int, mask uint64) {
+	i := uint(rt*t.n + s)
+	return int(i >> 6), 1 << (i & 63)
+}
+
 // refresh re-evaluates (rt, s) and adjusts the owning chunk's weight.
 func (t *rateTracker) refresh(rt, s int) {
 	now := t.cm.Enabled(t.cells, rt, s)
-	if now == t.enabled[rt][s] {
+	w, m := t.bit(rt, s)
+	was := t.enabled[w]&m != 0
+	if now == was {
 		return
 	}
-	t.enabled[rt][s] = now
+	t.enabled[w] ^= m
 	delta := t.cm.Types[rt].Rate
 	if !now {
 		delta = -delta
@@ -63,8 +75,40 @@ func (t *rateTracker) refresh(rt, s int) {
 func (t *rateTracker) afterExecute(rt, s int) {
 	t.scratch = t.cm.ChangedSites(t.scratch[:0], rt, s)
 	for _, z := range t.scratch {
-		t.cm.Dependencies(z, t.refresh)
+		// Closure-free dependency scan over the compiled CSR tables.
+		rts, sites := t.cm.DepPairs(z)
+		for j, r := range rts {
+			t.refresh(int(r), int(sites[j]))
+		}
 	}
+	if t.weights.NeedsRebuild() {
+		t.rebuild()
+	}
+}
+
+// rebuild recomputes every chunk weight from the enabled bitset and the
+// true rates, clearing the floating-point drift the incremental signed
+// Adds accumulate over long runs. Triggered by the Fenwick tree's Add
+// counter; O(T·N/64 + set bits), so amortised cost is negligible.
+func (t *rateTracker) rebuild() {
+	sums := make([]float64, t.part.NumChunks())
+	for rt := 0; rt < t.cm.NumTypes(); rt++ {
+		rate := t.cm.Types[rt].Rate
+		base := rt * t.n
+		for s := 0; s < t.n; s++ {
+			i := uint(base + s)
+			w := t.enabled[i>>6]
+			if w == 0 {
+				// Skip the rest of an all-clear word.
+				s += 63 - int(i&63)
+				continue
+			}
+			if w&(1<<(i&63)) != 0 {
+				sums[t.part.ChunkOf(s)] += rate
+			}
+		}
+	}
+	t.weights.Rebuild(func(ci int) float64 { return sums[ci] })
 }
 
 // pick draws a chunk with probability proportional to its enabled rate.

@@ -23,9 +23,11 @@ type FRM struct {
 	queue          *eventq.Queue
 	changedScratch []int
 	events         uint64
-	// pendingRate is Σ k_i over all scheduled instances, maintained
-	// incrementally so TotalRate is O(1).
-	pendingRate float64
+	// scheduled[rt] counts the queued instances of each reaction type.
+	// Integer counts are exact, so TotalRate (Σ scheduled[rt]·k_rt,
+	// O(types)) carries no floating-point drift no matter how long the
+	// run — unlike a float accumulator of interleaved signed adds.
+	scheduled []int64
 }
 
 // NewFRM builds the engine and schedules all initially enabled
@@ -34,13 +36,15 @@ func NewFRM(cm *model.Compiled, cfg *lattice.Config, src *rng.Source) *FRM {
 	if !cfg.Lattice().SameShape(cm.Lat) {
 		panic("dmc: configuration lattice differs from compiled lattice")
 	}
-	f := &FRM{cm: cm, cfg: cfg, cells: cfg.Cells(), src: src, queue: eventq.New()}
 	n := cm.Lat.N()
+	f := &FRM{cm: cm, cfg: cfg, cells: cfg.Cells(), src: src,
+		queue:     eventq.New(cm.NumTypes() * n),
+		scheduled: make([]int64, cm.NumTypes())}
 	for rt := 0; rt < cm.NumTypes(); rt++ {
 		for s := 0; s < n; s++ {
 			if cm.Enabled(f.cells, rt, s) {
 				f.queue.Schedule(f.key(rt, s), f.time+src.Exp(cm.Types[rt].Rate))
-				f.pendingRate += cm.Types[rt].Rate
+				f.scheduled[rt]++
 			}
 		}
 	}
@@ -64,10 +68,10 @@ func (f *FRM) refresh(rt, s int) {
 	if f.cm.Enabled(f.cells, rt, s) {
 		if !f.queue.Contains(k) {
 			f.queue.Schedule(k, f.time+f.src.Exp(f.cm.Types[rt].Rate))
-			f.pendingRate += f.cm.Types[rt].Rate
+			f.scheduled[rt]++
 		}
 	} else if f.queue.Remove(k) {
-		f.pendingRate -= f.cm.Types[rt].Rate
+		f.scheduled[rt]--
 	}
 }
 
@@ -80,12 +84,16 @@ func (f *FRM) Step() bool {
 	}
 	f.time = ev.Time
 	rt, s := f.unkey(ev.Key)
-	f.pendingRate -= f.cm.Types[rt].Rate
+	f.scheduled[rt]--
 
 	f.changedScratch = f.cm.ChangedSites(f.changedScratch[:0], rt, s)
 	f.cm.Execute(f.cells, rt, s)
 	for _, z := range f.changedScratch {
-		f.cm.Dependencies(z, f.refresh)
+		// Closure-free dependency scan over the compiled CSR tables.
+		rts, sites := f.cm.DepPairs(z)
+		for j, r := range rts {
+			f.refresh(int(r), int(sites[j]))
+		}
 	}
 	// If the executed instance is enabled again (e.g. a desorption that
 	// re-enables an adsorption elsewhere covered above; the instance

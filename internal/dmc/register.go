@@ -29,8 +29,15 @@ func (v *VSSM) Steps() uint64 { return v.events }
 func (f *FRM) Name() string { return "frm" }
 
 // TotalRate returns Σ k_i over all scheduled reaction instances, the
-// aggregate propensity of the current state.
-func (f *FRM) TotalRate() float64 { return f.pendingRate }
+// aggregate propensity of the current state, computed exactly from the
+// per-type instance counts (O(types), no accumulated float drift).
+func (f *FRM) TotalRate() float64 {
+	total := 0.0
+	for rt, n := range f.scheduled {
+		total += float64(n) * f.cm.Types[rt].Rate
+	}
+	return total
+}
 
 // Steps returns the number of completed Step calls (= executed events).
 func (f *FRM) Steps() uint64 { return f.events }

@@ -63,18 +63,26 @@ func NewVSSM(cm *model.Compiled, cfg *lattice.Config, src *rng.Source) *VSSM {
 	return v
 }
 
+// insert appends site s to rt's enabled list and adds its rate. The
+// caller guarantees (rt, s) is currently absent.
 func (v *VSSM) insert(rt, s int) {
-	if v.pos[rt][s] != 0 {
-		return
-	}
 	v.enabled[rt] = append(v.enabled[rt], int32(s))
 	v.pos[rt][s] = int32(len(v.enabled[rt]))
 	v.typeRates.Add(rt, v.cm.Types[rt].Rate)
 }
 
-func (v *VSSM) remove(rt, s int) {
+// refresh re-evaluates enabledness of (rt, s) and fixes the sets. It is
+// the body of the post-execution dependency scan: one position lookup
+// decides both directions, and the common no-change case returns
+// without touching the enabled lists or the rate tree.
+func (v *VSSM) refresh(rt, s int) {
+	now := v.cm.Enabled(v.cells, rt, s)
 	p := v.pos[rt][s]
-	if p == 0 {
+	if now == (p != 0) {
+		return
+	}
+	if now {
+		v.insert(rt, s)
 		return
 	}
 	list := v.enabled[rt]
@@ -87,15 +95,6 @@ func (v *VSSM) remove(rt, s int) {
 	v.typeRates.Add(rt, -v.cm.Types[rt].Rate)
 }
 
-// refresh re-evaluates enabledness of (rt, s) and fixes the sets.
-func (v *VSSM) refresh(rt, s int) {
-	if v.cm.Enabled(v.cells, rt, s) {
-		v.insert(rt, s)
-	} else {
-		v.remove(rt, s)
-	}
-}
-
 // TotalRate returns Σ k_i·|enabled_i|, the aggregate propensity.
 func (v *VSSM) TotalRate() float64 { return v.typeRates.Total() }
 
@@ -105,14 +104,12 @@ func (v *VSSM) EnabledCount(rt int) int { return len(v.enabled[rt]) }
 // resync rebuilds the type-rate tree from the exact enabled counts.
 // Long runs accumulate floating-point residue in the Fenwick nodes
 // (adds and removes of the same rate interleave with other types);
-// resync clears it.
+// resync clears it. It runs both reactively (Search landed on an empty
+// type) and proactively (the tree's Add counter trips NeedsRebuild).
 func (v *VSSM) resync() {
-	v.typeRates.Reset()
-	for rt := range v.enabled {
-		if n := len(v.enabled[rt]); n > 0 {
-			v.typeRates.Add(rt, v.cm.Types[rt].Rate*float64(n))
-		}
-	}
+	v.typeRates.Rebuild(func(rt int) float64 {
+		return v.cm.Types[rt].Rate * float64(len(v.enabled[rt]))
+	})
 }
 
 // Step executes one reaction event. It reports false from an absorbing
@@ -140,7 +137,14 @@ func (v *VSSM) Step() bool {
 	v.changedScratch = v.cm.ChangedSites(v.changedScratch[:0], rt, s)
 	v.cm.Execute(v.cells, rt, s)
 	for _, z := range v.changedScratch {
-		v.cm.Dependencies(z, v.refresh)
+		// Closure-free dependency scan over the compiled CSR tables.
+		rts, sites := v.cm.DepPairs(z)
+		for j, r := range rts {
+			v.refresh(int(r), int(sites[j]))
+		}
+	}
+	if v.typeRates.NeedsRebuild() {
+		v.resync()
 	}
 	v.events++
 	return true

@@ -3,25 +3,38 @@
 // at most one scheduled occurrence time, and state changes must be able
 // to reschedule or cancel events cheaply. The heap supports O(log n)
 // push, pop, update and remove by event key.
+//
+// Keys live in a dense space [0, keySpace) fixed at construction (FRM
+// uses rt·N + site), so the key → heap-position index is a flat slice
+// rather than a hash map — no hashing, no map churn on the reschedule
+// path that runs after every executed reaction.
 package eventq
+
+import "fmt"
 
 // Event is a scheduled reaction occurrence.
 type Event struct {
 	Time float64
-	Key  int64 // caller-defined identity, e.g. rt*N + site
+	Key  int64 // caller-defined identity in [0, keySpace), e.g. rt*N + site
 }
 
 // Queue is an indexed min-heap ordered by Event.Time. Each Key appears at
 // most once; Schedule replaces an existing event for the same key.
 type Queue struct {
 	heap []Event
-	pos  map[int64]int // key -> heap index
+	pos  []int32 // key -> heap index + 1; 0 = absent
 }
 
-// New returns an empty queue.
-func New() *Queue {
-	return &Queue{pos: make(map[int64]int)}
+// New returns an empty queue accepting keys in [0, keySpace).
+func New(keySpace int) *Queue {
+	if keySpace < 0 {
+		panic(fmt.Sprintf("eventq: negative key space %d", keySpace))
+	}
+	return &Queue{pos: make([]int32, keySpace)}
 }
+
+// KeySpace returns the exclusive upper bound on keys.
+func (q *Queue) KeySpace() int { return len(q.pos) }
 
 // Len returns the number of scheduled events.
 func (q *Queue) Len() int { return len(q.heap) }
@@ -29,7 +42,8 @@ func (q *Queue) Len() int { return len(q.heap) }
 // Schedule inserts an event, or reschedules the existing event with the
 // same key to the new time.
 func (q *Queue) Schedule(key int64, time float64) {
-	if i, ok := q.pos[key]; ok {
+	if p := q.pos[key]; p != 0 {
+		i := int(p - 1)
 		old := q.heap[i].Time
 		q.heap[i].Time = time
 		if time < old {
@@ -41,21 +55,22 @@ func (q *Queue) Schedule(key int64, time float64) {
 	}
 	q.heap = append(q.heap, Event{Time: time, Key: key})
 	i := len(q.heap) - 1
-	q.pos[key] = i
+	q.pos[key] = int32(i + 1)
 	q.up(i)
 }
 
 // Remove cancels the event with the given key, reporting whether it was
 // present.
 func (q *Queue) Remove(key int64) bool {
-	i, ok := q.pos[key]
-	if !ok {
+	p := q.pos[key]
+	if p == 0 {
 		return false
 	}
+	i := int(p - 1)
 	last := len(q.heap) - 1
 	q.swap(i, last)
 	q.heap = q.heap[:last]
-	delete(q.pos, key)
+	q.pos[key] = 0
 	if i < last {
 		if !q.down(i) {
 			q.up(i)
@@ -66,17 +81,16 @@ func (q *Queue) Remove(key int64) bool {
 
 // Contains reports whether an event with the given key is scheduled.
 func (q *Queue) Contains(key int64) bool {
-	_, ok := q.pos[key]
-	return ok
+	return q.pos[key] != 0
 }
 
 // TimeOf returns the scheduled time for a key and whether it exists.
 func (q *Queue) TimeOf(key int64) (float64, bool) {
-	i, ok := q.pos[key]
-	if !ok {
+	p := q.pos[key]
+	if p == 0 {
 		return 0, false
 	}
-	return q.heap[i].Time, true
+	return q.heap[p-1].Time, true
 }
 
 // Peek returns the earliest event without removing it. ok is false when
@@ -103,8 +117,8 @@ func (q *Queue) swap(i, j int) {
 		return
 	}
 	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
-	q.pos[q.heap[i].Key] = i
-	q.pos[q.heap[j].Key] = j
+	q.pos[q.heap[i].Key] = int32(i + 1)
+	q.pos[q.heap[j].Key] = int32(j + 1)
 }
 
 // up restores the heap property moving index i toward the root; returns

@@ -9,7 +9,7 @@ import (
 )
 
 func TestEmpty(t *testing.T) {
-	q := New()
+	q := New(64)
 	if q.Len() != 0 {
 		t.Fatal("fresh queue not empty")
 	}
@@ -25,7 +25,7 @@ func TestEmpty(t *testing.T) {
 }
 
 func TestOrdering(t *testing.T) {
-	q := New()
+	q := New(64)
 	times := []float64{5, 1, 3, 2, 4}
 	for i, tm := range times {
 		q.Schedule(int64(i), tm)
@@ -41,7 +41,7 @@ func TestOrdering(t *testing.T) {
 }
 
 func TestScheduleReplaces(t *testing.T) {
-	q := New()
+	q := New(64)
 	q.Schedule(7, 10)
 	q.Schedule(7, 1) // move earlier
 	if q.Len() != 1 {
@@ -58,7 +58,7 @@ func TestScheduleReplaces(t *testing.T) {
 }
 
 func TestRemove(t *testing.T) {
-	q := New()
+	q := New(64)
 	for i := int64(0); i < 10; i++ {
 		q.Schedule(i, float64(10-i))
 	}
@@ -88,7 +88,7 @@ func TestRemove(t *testing.T) {
 }
 
 func TestPeekDoesNotRemove(t *testing.T) {
-	q := New()
+	q := New(64)
 	q.Schedule(1, 3)
 	ev, ok := q.Peek()
 	if !ok || ev.Key != 1 || q.Len() != 1 {
@@ -102,7 +102,7 @@ func TestPeekDoesNotRemove(t *testing.T) {
 func TestQuickHeapInvariant(t *testing.T) {
 	f := func(seed uint64) bool {
 		src := rng.New(seed)
-		q := New()
+		q := New(64)
 		expected := make(map[int64]float64)
 		for op := 0; op < 300; op++ {
 			key := int64(src.Intn(40))
@@ -145,7 +145,7 @@ func TestQuickHeapInvariant(t *testing.T) {
 }
 
 func BenchmarkScheduleRemove(b *testing.B) {
-	q := New()
+	q := New(10000)
 	src := rng.New(1)
 	for i := 0; i < b.N; i++ {
 		key := int64(i % 10000)
@@ -158,7 +158,7 @@ func BenchmarkScheduleRemove(b *testing.B) {
 
 func BenchmarkPop(b *testing.B) {
 	src := rng.New(2)
-	q := New()
+	q := New(b.N)
 	for i := 0; i < b.N; i++ {
 		q.Schedule(int64(i), src.Float64())
 	}
@@ -166,4 +166,21 @@ func BenchmarkPop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		q.Pop()
 	}
+}
+
+func TestKeySpace(t *testing.T) {
+	q := New(16)
+	if q.KeySpace() != 16 {
+		t.Fatalf("KeySpace = %d", q.KeySpace())
+	}
+	q.Schedule(15, 1) // top of the range is valid
+	if !q.Contains(15) {
+		t.Fatal("key 15 lost")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range key did not panic")
+		}
+	}()
+	q.Schedule(16, 1)
 }

@@ -11,6 +11,41 @@ import "fmt"
 type Tree struct {
 	tree []float64 // 1-based internal array
 	n    int
+	adds uint64 // signed Adds since the last Rebuild/Reset
+}
+
+// RebuildEvery is the default number of signed Adds after which the
+// accumulated floating-point drift of interleaved positive and negative
+// updates warrants rebuilding the tree from true leaf values (see
+// NeedsRebuild). The bound is conservative: each Add can lose at most
+// one ulp per touched node, so ~10⁶ ops keep the summed error orders of
+// magnitude below any sampling threshold while making rebuilds
+// (O(n) each) vanishingly rare.
+const RebuildEvery = 1 << 20
+
+// Adds returns the number of Add calls since the last Rebuild or Reset.
+func (t *Tree) Adds() uint64 { return t.adds }
+
+// NeedsRebuild reports whether at least RebuildEvery signed Adds have
+// accumulated since the last Rebuild/Reset. Long-running owners that
+// know their true leaf values (VSSM's rate·count products, the chunk
+// trackers' enabled-rate sums) call Rebuild when this trips.
+func (t *Tree) NeedsRebuild() bool { return t.adds >= RebuildEvery }
+
+// Rebuild re-initialises every node from the true leaf values supplied
+// by the callback, in O(n), clearing all accumulated floating-point
+// drift and resetting the Add counter.
+func (t *Tree) Rebuild(leaf func(i int) float64) {
+	for i := 0; i < t.n; i++ {
+		t.tree[i+1] = leaf(i)
+	}
+	for i := 1; i <= t.n; i++ {
+		parent := i + (i & -i)
+		if parent <= t.n {
+			t.tree[parent] += t.tree[i]
+		}
+	}
+	t.adds = 0
 }
 
 // New returns a tree of n zero weights.
@@ -45,6 +80,7 @@ func (t *Tree) Add(i int, delta float64) {
 	for j := i + 1; j <= t.n; j += j & -j {
 		t.tree[j] += delta
 	}
+	t.adds++
 }
 
 // PrefixSum returns the sum of weights in [0, i) — i.e. of the first i
@@ -107,9 +143,10 @@ func (t *Tree) Search(target float64) int {
 	return idx
 }
 
-// Reset zeroes all weights.
+// Reset zeroes all weights and the Add counter.
 func (t *Tree) Reset() {
 	for i := range t.tree {
 		t.tree[i] = 0
 	}
+	t.adds = 0
 }

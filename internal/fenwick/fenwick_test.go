@@ -243,3 +243,66 @@ func BenchmarkSearch(b *testing.B) {
 		tr.Search(src.Float64() * total)
 	}
 }
+
+// Rebuild must clear accumulated floating-point drift: after many
+// interleaved signed updates the tree totals drift away from the true
+// leaf sums, and a rebuild from true values restores them exactly.
+func TestRebuildClearsDrift(t *testing.T) {
+	const n = 8
+	tr := New(n)
+	leaves := make([]float64, n)
+	// Updates with awkward magnitudes accumulate representation error.
+	for i := 0; i < 200000; i++ {
+		slot := i % n
+		delta := 0.1 * float64(1+i%7)
+		if i%2 == 1 {
+			delta = -delta
+		}
+		tr.Add(slot, delta)
+		leaves[slot] += delta
+	}
+	if tr.Adds() != 200000 {
+		t.Fatalf("Adds = %d, want 200000", tr.Adds())
+	}
+	tr.Rebuild(func(i int) float64 { return leaves[i] })
+	if tr.Adds() != 0 {
+		t.Fatalf("Adds = %d after Rebuild, want 0", tr.Adds())
+	}
+	for i := 0; i < n; i++ {
+		// Get is a prefix-sum difference; after Rebuild from exact
+		// leaves the reconstruction error is at most a few ulps of the
+		// running sums, far below the 1e-9 slack.
+		if math.Abs(tr.Get(i)-leaves[i]) > 1e-9 {
+			t.Fatalf("leaf %d = %v, want %v", i, tr.Get(i), leaves[i])
+		}
+	}
+	total := 0.0
+	for _, v := range leaves {
+		total += v
+	}
+	if math.Abs(tr.Total()-total) > 1e-9 {
+		t.Fatalf("Total = %v, want %v", tr.Total(), total)
+	}
+}
+
+func TestNeedsRebuildThreshold(t *testing.T) {
+	tr := New(4)
+	if tr.NeedsRebuild() {
+		t.Fatal("fresh tree wants a rebuild")
+	}
+	for i := uint64(0); i < RebuildEvery; i++ {
+		tr.Add(int(i%4), 1)
+	}
+	if !tr.NeedsRebuild() {
+		t.Fatal("threshold did not trip")
+	}
+	tr.Rebuild(func(i int) float64 { return 0 })
+	if tr.NeedsRebuild() {
+		t.Fatal("rebuild did not reset the counter")
+	}
+	tr.Add(0, 1)
+	tr.Reset()
+	if tr.Adds() != 0 {
+		t.Fatal("Reset did not clear the counter")
+	}
+}

@@ -1,0 +1,62 @@
+// Package goldentrace defines the canonical fixed-seed fingerprint run
+// shared by the golden-trace equivalence test (TestGoldenTracesBitIdentical
+// in the root package) and cmd/goldengen, so the two can never disagree
+// about the trajectory being hashed: same seed, same lattice side, same
+// per-engine step counts, same hash.
+package goldentrace
+
+import (
+	"hash/fnv"
+	"math"
+
+	"parsurf/internal/registry"
+)
+
+// The canonical run parameters. Changing any of these invalidates every
+// recorded golden hash; regenerate them with cmd/goldengen in the same
+// change.
+const (
+	// Seed is the RNG seed of the fingerprint run.
+	Seed = 12345
+	// Side is the square-lattice side length.
+	Side = 20
+	// DefaultSteps is the step count for trial-based engines (one MC
+	// step of N trials per Step call).
+	DefaultSteps = 60
+	// EventSteps is the step count for event-based engines (VSSM, FRM
+	// advance one executed reaction per Step call).
+	EventSteps = 4000
+)
+
+// StepsFor returns the canonical step count for an engine name.
+func StepsFor(name string) int {
+	if name == "vssm" || name == "frm" {
+		return EventSteps
+	}
+	return DefaultSteps
+}
+
+// Fingerprint runs the engine for the given number of steps and returns
+// the FNV-64a hash of the full configuration and the clock's float64
+// bits after every step.
+func Fingerprint(eng registry.Engine, steps int) uint64 {
+	h := fnv.New64a()
+	cells := eng.Config().Cells()
+	buf := make([]byte, len(cells))
+	var tb [8]byte
+	for i := 0; i < steps; i++ {
+		if !eng.Step() {
+			break
+		}
+		for j, sp := range cells {
+			buf[j] = byte(sp)
+		}
+		h.Write(buf)
+		bits := math.Float64bits(eng.Time())
+		for k := 0; k < 8; k++ {
+			tb[k] = byte(bits >> (8 * k))
+		}
+		h.Write(tb[:])
+	}
+	return h.Sum64()
+}

@@ -2,14 +2,25 @@ package model
 
 import (
 	"fmt"
+	"math"
 
 	"parsurf/internal/lattice"
 )
 
-// Compiled binds a Model to a concrete lattice and precomputes, for every
-// offset used by any reaction type, the full translation table
-// offset → (site → site). This removes per-trial modular arithmetic from
-// the simulation hot loops and is shared by all engines (DMC and CA).
+// Compiled binds a Model to a concrete lattice and precomputes every
+// lookup the simulation hot loops need:
+//
+//   - one flat translation-table arena holding, for every offset used by
+//     any reaction pattern (and its inverse), the full site → site map,
+//     so Enabled/Execute/TryExecute run over contiguous memory with no
+//     per-trial modular arithmetic;
+//   - per reaction type, the triples fused into parallel table-offset /
+//     source / target arrays (no struct-of-slices pointer chasing);
+//   - the dependency pairs of every site in a flat CSR layout
+//     (depStart/depRT/depSite), so the VSSM/FRM/tracker bookkeeping
+//     after an executed reaction is a closure-free slice scan.
+//
+// It is shared by all engines (DMC and CA).
 type Compiled struct {
 	Model *Model
 	Lat   *lattice.Lattice
@@ -22,14 +33,41 @@ type Compiled struct {
 	Cum []float64
 	K   float64
 
-	tables map[lattice.Vec][]int32
+	// flat is the translation-table arena: table ordinal t occupies
+	// flat[t*N : (t+1)*N], and flat[t*N+s] is site s translated by the
+	// ordinal's offset.
+	flat []int32
+
+	// CSR dependency tables: for a changed site z, the (reaction type,
+	// application site) pairs whose enabledness may have changed are
+	// (depRT[j], depSite[depStart[z]+j]) for j in [0, len(depRT)).
+	// Every row has the same width (one pair per triple of every type)
+	// and the same type sequence, so the reaction-type column is stored
+	// once and shared by all sites instead of repeated n times —
+	// half the memory traffic on the post-execution refresh path.
+	depStart []int32
+	depRT    []int32
+	depSite  []int32
 }
 
 // CompiledType is a reaction type with its offsets resolved to shared
-// translation tables.
+// translation tables. The Triples view and the fused tabOff/src/tgt
+// arrays describe the same pattern; the hot-path methods use the fused
+// form, Triples remains for inspection and tests.
 type CompiledType struct {
 	Rate    float64
 	Triples []CompiledTriple
+
+	// tabOff[i] is the arena offset of triple i's translation table:
+	// the affected site for an application at s is flat[tabOff[i]+s].
+	tabOff []int32
+	// src and tgt are the triple source/target species, fused into
+	// contiguous arrays.
+	src []lattice.Species
+	tgt []lattice.Species
+	// changedIdx indexes the triples with src != tgt (the sites an
+	// execution actually modifies).
+	changedIdx []int32
 }
 
 // CompiledTriple mirrors Triple with a resolved translation table:
@@ -49,27 +87,85 @@ func Compile(m *Model, lat *lattice.Lattice) (*Compiled, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	n := lat.N()
 	cm := &Compiled{
-		Model:  m,
-		Lat:    lat,
-		Types:  make([]CompiledType, len(m.Types)),
-		Cum:    m.CumulativeRates(),
-		K:      m.K(),
-		tables: make(map[lattice.Vec][]int32),
+		Model: m,
+		Lat:   lat,
+		Types: make([]CompiledType, len(m.Types)),
+		Cum:   m.CumulativeRates(),
+		K:     m.K(),
+	}
+
+	// Collect the distinct offsets in deterministic first-use order:
+	// every pattern offset, then every negated offset (the inverse
+	// tables the dependency CSR is built from).
+	ordinals := make(map[lattice.Vec]int32)
+	var offsets []lattice.Vec
+	intern := func(v lattice.Vec) int32 {
+		if t, ok := ordinals[v]; ok {
+			return t
+		}
+		t := int32(len(offsets))
+		ordinals[v] = t
+		offsets = append(offsets, v)
+		return t
+	}
+	numTriples := 0
+	for i := range m.Types {
+		for _, tr := range m.Types[i].Triples {
+			intern(tr.Off)
+			numTriples++
+		}
 	}
 	for i := range m.Types {
+		for _, tr := range m.Types[i].Triples {
+			intern(tr.Off.Neg())
+		}
+	}
+	if int64(len(offsets))*int64(n) > math.MaxInt32 ||
+		int64(numTriples)*int64(n) > math.MaxInt32 {
+		return nil, fmt.Errorf("model: %d offsets × %d sites overflow the compiled table arena", len(offsets), n)
+	}
+
+	// Fill the arena: one contiguous translation table per offset.
+	cm.flat = make([]int32, len(offsets)*n)
+	for t, off := range offsets {
+		table := cm.flat[t*n : (t+1)*n]
+		for s := 0; s < n; s++ {
+			table[s] = int32(lat.Translate(s, off))
+		}
+	}
+	tableOf := func(v lattice.Vec) []int32 {
+		t := int(ordinals[v])
+		return cm.flat[t*n : (t+1)*n]
+	}
+
+	for i := range m.Types {
 		rt := &m.Types[i]
-		ct := CompiledType{Rate: rt.Rate, Triples: make([]CompiledTriple, len(rt.Triples))}
+		k := len(rt.Triples)
+		ct := CompiledType{
+			Rate:    rt.Rate,
+			Triples: make([]CompiledTriple, k),
+			tabOff:  make([]int32, k),
+			src:     make([]lattice.Species, k),
+			tgt:     make([]lattice.Species, k),
+		}
 		for j, tr := range rt.Triples {
 			ct.Triples[j] = CompiledTriple{
-				Table: cm.table(tr.Off),
+				Table: tableOf(tr.Off),
 				Src:   tr.Src,
 				Tgt:   tr.Tgt,
+			}
+			ct.tabOff[j] = ordinals[tr.Off] * int32(n)
+			ct.src[j] = tr.Src
+			ct.tgt[j] = tr.Tgt
+			if tr.Src != tr.Tgt {
+				ct.changedIdx = append(ct.changedIdx, int32(j))
 			}
 		}
 		// Detect wrap-around self-collision: the resolved sites of an
 		// application at site 0 must be pairwise distinct.
-		seen := make(map[int32]bool, len(ct.Triples))
+		seen := make(map[int32]bool, k)
 		for _, tr := range ct.Triples {
 			site := tr.Table[0]
 			if seen[site] {
@@ -81,6 +177,31 @@ func Compile(m *Model, lat *lattice.Lattice) (*Compiled, error) {
 		}
 		cm.Types[i] = ct
 	}
+
+	// Build the dependency CSR. For a changed site z the affected pairs
+	// are, for every type r and triple offset o, (r, z translated by
+	// −o); the enumeration order (types ascending, triples ascending)
+	// is part of the engines' reproducibility contract and must match
+	// the order the closure-based Dependencies historically used.
+	cm.depStart = make([]int32, n+1)
+	cm.depRT = make([]int32, 0, numTriples)
+	cm.depSite = make([]int32, n*numTriples)
+	inv := make([][]int32, 0, numTriples)
+	for r := range m.Types {
+		for _, tr := range m.Types[r].Triples {
+			inv = append(inv, tableOf(tr.Off.Neg()))
+			cm.depRT = append(cm.depRT, int32(r))
+		}
+	}
+	j := 0
+	for z := 0; z < n; z++ {
+		cm.depStart[z] = int32(j)
+		for _, table := range inv {
+			cm.depSite[j] = table[z]
+			j++
+		}
+	}
+	cm.depStart[n] = int32(j)
 	return cm, nil
 }
 
@@ -94,29 +215,27 @@ func MustCompile(m *Model, lat *lattice.Lattice) *Compiled {
 	return cm
 }
 
-// table returns (building if needed) the translation table for offset v.
-func (cm *Compiled) table(v lattice.Vec) []int32 {
-	if t, ok := cm.tables[v]; ok {
-		return t
-	}
-	n := cm.Lat.N()
-	t := make([]int32, n)
-	for s := 0; s < n; s++ {
-		t[s] = int32(cm.Lat.Translate(s, v))
-	}
-	cm.tables[v] = t
-	return t
-}
-
 // NumTypes returns the number of reaction types.
 func (cm *Compiled) NumTypes() int { return len(cm.Types) }
 
 // Enabled reports whether reaction type rt is enabled at site s: the
 // source pattern matches the configuration.
 func (cm *Compiled) Enabled(cells []lattice.Species, rt, s int) bool {
-	for i := range cm.Types[rt].Triples {
-		tr := &cm.Types[rt].Triples[i]
-		if cells[tr.Table[s]] != tr.Src {
+	ct := &cm.Types[rt]
+	flat := cm.flat
+	tab := ct.tabOff
+	srcs := ct.src
+	// Surface-reaction patterns are almost always one or two sites;
+	// the unrolled forms skip the loop bookkeeping on that path.
+	if len(tab) == 2 && len(srcs) == 2 {
+		return cells[flat[int(tab[0])+s]] == srcs[0] &&
+			cells[flat[int(tab[1])+s]] == srcs[1]
+	}
+	if len(tab) == 1 && len(srcs) == 1 {
+		return cells[flat[int(tab[0])+s]] == srcs[0]
+	}
+	for i, off := range tab {
+		if cells[flat[int(off)+s]] != srcs[i] {
 			return false
 		}
 	}
@@ -125,29 +244,47 @@ func (cm *Compiled) Enabled(cells []lattice.Species, rt, s int) bool {
 
 // Execute applies reaction type rt at site s (no enabledness check).
 func (cm *Compiled) Execute(cells []lattice.Species, rt, s int) {
-	for i := range cm.Types[rt].Triples {
-		tr := &cm.Types[rt].Triples[i]
-		cells[tr.Table[s]] = tr.Tgt
+	ct := &cm.Types[rt]
+	flat := cm.flat
+	for i, off := range ct.tabOff {
+		cells[flat[int(off)+s]] = ct.tgt[i]
 	}
 }
 
 // TryExecute checks enabledness and executes on success, reporting
 // whether the reaction fired. This is the body of one RSM/NDCA trial.
 func (cm *Compiled) TryExecute(cells []lattice.Species, rt, s int) bool {
-	if !cm.Enabled(cells, rt, s) {
-		return false
+	ct := &cm.Types[rt]
+	flat := cm.flat
+	for i, off := range ct.tabOff {
+		if cells[flat[int(off)+s]] != ct.src[i] {
+			return false
+		}
 	}
-	cm.Execute(cells, rt, s)
+	for i, off := range ct.tabOff {
+		cells[flat[int(off)+s]] = ct.tgt[i]
+	}
 	return true
 }
 
 // PickType selects a reaction type with probability k_i/K given a uniform
 // u in [0,1). Linear scan over the cumulative table: models have few
-// types and the scan beats binary search at these sizes.
+// types and the scan beats binary search at these sizes. It panics on a
+// model with no positive total rate, and guards the u·K ≥ K boundary
+// (reachable through floating-point rounding of u ≈ 1) by returning the
+// last type with positive rate rather than whatever type is last.
 func (cm *Compiled) PickType(u float64) int {
+	if cm.K <= 0 {
+		panic("model: PickType on a model with non-positive total rate")
+	}
 	target := u * cm.K
 	for i, c := range cm.Cum {
 		if target < c {
+			return i
+		}
+	}
+	for i := len(cm.Types) - 1; i >= 0; i-- {
+		if cm.Types[i].Rate > 0 {
 			return i
 		}
 	}
@@ -157,46 +294,44 @@ func (cm *Compiled) PickType(u float64) int {
 // ChangedSites appends to dst the sites whose contents executing rt at s
 // modifies (triples with Src != Tgt), and returns the extended slice.
 func (cm *Compiled) ChangedSites(dst []int, rt, s int) []int {
-	for i := range cm.Types[rt].Triples {
-		tr := &cm.Types[rt].Triples[i]
-		if tr.Src != tr.Tgt {
-			dst = append(dst, int(tr.Table[s]))
-		}
+	ct := &cm.Types[rt]
+	flat := cm.flat
+	for _, i := range ct.changedIdx {
+		dst = append(dst, int(flat[int(ct.tabOff[i])+s]))
 	}
 	return dst
 }
 
-// Dependencies enumerates, for a changed site z, all (reaction type,
-// application site) pairs whose enabledness may have changed: for every
-// type r and every offset o in r's pattern, the application site z−o.
-// The visit function is called once per pair; pairs are not deduplicated
-// across offsets of the same type unless they resolve to distinct sites.
-func (cm *Compiled) Dependencies(z int, visit func(rt, s int)) {
-	for r := range cm.Types {
-		triples := cm.Types[r].Triples
-		// For patterns of size ≤ 2 (the common case) duplicates cannot
-		// occur; for larger ones the caller's data structure must
-		// tolerate repeated visits (ours do).
-		for i := range triples {
-			s := cm.invTable(r, i)[z]
-			visit(r, int(s))
-		}
-	}
+// DepPairs returns the precomputed dependency pairs of changed site z as
+// parallel slices: for every j, reaction type rts[j] at application site
+// sites[j] may have changed enabledness. The slices alias the compiled
+// CSR tables and must not be modified. Pair order is fixed (types
+// ascending, triples ascending), which the incremental engines rely on
+// for bit-identical trajectories.
+func (cm *Compiled) DepPairs(z int) (rts, sites []int32) {
+	a, b := cm.depStart[z], cm.depStart[z+1]
+	return cm.depRT, cm.depSite[a:b]
 }
 
-// invTables caches inverse translation tables per (type, triple).
-func (cm *Compiled) invTable(r, i int) []int32 {
-	// The inverse of translating by v is translating by -v; reuse the
-	// shared table map keyed by the negated offset.
-	off := cm.Model.Types[r].Triples[i].Off.Neg()
-	return cm.table(off)
+// Dependencies enumerates, for a changed site z, all (reaction type,
+// application site) pairs whose enabledness may have changed. The visit
+// function is called once per pair, in DepPairs order. Hot loops should
+// consume DepPairs directly; this closure form remains for tests and
+// non-critical callers.
+func (cm *Compiled) Dependencies(z int, visit func(rt, s int)) {
+	rts, sites := cm.DepPairs(z)
+	for j, rt := range rts {
+		visit(int(rt), int(sites[j]))
+	}
 }
 
 // NbSites appends to dst the resolved neighbourhood sites of reaction
 // type rt applied at s (all triples, changed or not).
 func (cm *Compiled) NbSites(dst []int, rt, s int) []int {
-	for i := range cm.Types[rt].Triples {
-		dst = append(dst, int(cm.Types[rt].Triples[i].Table[s]))
+	ct := &cm.Types[rt]
+	flat := cm.flat
+	for _, off := range ct.tabOff {
+		dst = append(dst, int(flat[int(off)+s]))
 	}
 	return dst
 }

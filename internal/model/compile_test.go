@@ -197,3 +197,84 @@ func BenchmarkCompiledTrial(b *testing.B) {
 		cm.TryExecute(cells, rt, s)
 	}
 }
+
+// DepPairs (the CSR fast path) must enumerate, for every changed site,
+// exactly the pairs the closure-based enumeration historically produced
+// and in the same order — types ascending, triples ascending, each
+// application site the changed site translated by the negated offset.
+// The reference here is computed independently from the model offsets
+// (not through Dependencies, which is itself a DepPairs wrapper), so
+// the test pins the order against a reordered CSR build.
+func TestDepPairsMatchesDependencies(t *testing.T) {
+	m := NewPtCO(DefaultPtCORates())
+	lat := lattice.New(10, 12)
+	cm := MustCompile(m, lat)
+	for z := 0; z < lat.N(); z++ {
+		var want [][2]int
+		for r := range m.Types {
+			for _, tr := range m.Types[r].Triples {
+				want = append(want, [2]int{r, lat.Translate(z, tr.Off.Neg())})
+			}
+		}
+		rts, sites := cm.DepPairs(z)
+		if len(rts) != len(want) || len(sites) != len(want) {
+			t.Fatalf("z=%d: DepPairs %d pairs, want %d", z, len(rts), len(want))
+		}
+		for j := range rts {
+			if int(rts[j]) != want[j][0] || int(sites[j]) != want[j][1] {
+				t.Fatalf("z=%d pair %d: CSR (%d,%d) != reference %v",
+					z, j, rts[j], sites[j], want[j])
+			}
+		}
+	}
+}
+
+// The CSR rows must all have the same width (one entry per triple of
+// every type) and cover every site.
+func TestDepCSRShape(t *testing.T) {
+	m := NewZGB(DefaultZGBRates())
+	lat := lattice.New(8, 8)
+	cm := MustCompile(m, lat)
+	want := 0
+	for i := range m.Types {
+		want += len(m.Types[i].Triples)
+	}
+	for z := 0; z < lat.N(); z++ {
+		rts, _ := cm.DepPairs(z)
+		if len(rts) != want {
+			t.Fatalf("site %d has %d dependency pairs, want %d", z, len(rts), want)
+		}
+	}
+}
+
+// PickType must reject models with no positive total rate instead of
+// silently returning the last type.
+func TestPickTypeRejectsZeroK(t *testing.T) {
+	cm := &Compiled{Cum: []float64{0, 0}, K: 0, Types: make([]CompiledType, 2)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PickType with K=0 did not panic")
+		}
+	}()
+	cm.PickType(0.5)
+}
+
+// A target landing at or beyond the cumulative total (floating-point
+// rounding of u ≈ 1, or trailing zero-rate types) must resolve to the
+// last type with positive rate.
+func TestPickTypeBoundaryFallsToPositiveRate(t *testing.T) {
+	cm := &Compiled{
+		Cum:   []float64{1, 3, 3}, // type 2 has zero rate
+		K:     3,
+		Types: []CompiledType{{Rate: 1}, {Rate: 2}, {Rate: 0}},
+	}
+	// u*K == K exactly: must not land on the zero-rate tail type.
+	if got := cm.PickType(1.0); got != 1 {
+		t.Fatalf("PickType(1.0) = %d, want 1 (last positive-rate type)", got)
+	}
+	// An exact interior boundary selects the next type (intervals are
+	// half-open [Cum[i-1], Cum[i])).
+	if got := cm.PickType(1.0 / 3.0); got != 1 {
+		t.Fatalf("PickType(1/3) = %d, want 1", got)
+	}
+}

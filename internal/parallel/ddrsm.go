@@ -110,7 +110,7 @@ func (d *DDRSM) Step() bool {
 		trials         uint64
 		dt             float64
 	}
-	resCh := make(chan result, p)
+	results := make([]result, p)
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
 		wg.Add(1)
@@ -118,7 +118,7 @@ func (d *DDRSM) Step() bool {
 			defer wg.Done()
 			st := d.strips[w]
 			stream := stepBase.Split(uint64(w))
-			var res result
+			res := &results[w]
 			for i := 0; i < st.sites; i++ {
 				row := st.loRow + stream.Intn(st.hiRow-st.loRow)
 				col := stream.Intn(d.cm.Lat.L0)
@@ -141,19 +141,19 @@ func (d *DDRSM) Step() bool {
 					res.deferredTrials = append(res.deferredTrials, deferredTrial{site: s, rt: rt})
 				}
 			}
-			resCh <- res
 		}(w)
 	}
 	wg.Wait() // barrier: all interior work done
-	close(resCh)
 	d.barriers++
 
-	// Sequential boundary phase. Results are merged in arrival order of
-	// the channel; to keep the simulation deterministic we re-sort the
-	// deferred trials by (site, rt) — their intra-window order is
-	// unspecified anyway, which is exactly the windowing approximation.
+	// Sequential boundary phase. Subtotals merge in strip order so the
+	// floating-point time sum is deterministic (goroutine completion
+	// order must not leak into the clock); the deferred trials are then
+	// re-sorted by (site, rt) — their intra-window order is unspecified
+	// anyway, which is exactly the windowing approximation.
 	var allDeferred []deferredTrial
-	for res := range resCh {
+	for w := range results {
+		res := &results[w]
 		d.successes += res.successes
 		d.trials += res.trials
 		d.time += res.dt

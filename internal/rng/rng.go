@@ -68,6 +68,58 @@ func (s *Source) Uint64() uint64 {
 	return result
 }
 
+// FillUint64 fills dst with the next len(dst) outputs of the generator,
+// exactly as len(dst) successive Uint64 calls would. Keeping the state
+// words in locals for the whole batch removes the per-call state
+// loads/stores from the hot loops that consume randomness in bulk.
+func (s *Source) FillUint64(dst []uint64) {
+	s0, s1, s2, s3 := s.s0, s.s1, s.s2, s.s3
+	for i := range dst {
+		dst[i] = rotl(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+	}
+	s.s0, s.s1, s.s2, s.s3 = s0, s1, s2, s3
+}
+
+// FillFloat64 fills dst with uniform float64s in [0, 1), consuming one
+// Uint64 output per element (the same conversion as Float64). Raw
+// outputs come from FillUint64 in stack-buffer chunks so the generator
+// core exists in exactly two forms (Uint64 and FillUint64), not three.
+func (s *Source) FillFloat64(dst []float64) {
+	var buf [128]uint64
+	for len(dst) > 0 {
+		n := len(dst)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		s.FillUint64(buf[:n])
+		for i := 0; i < n; i++ {
+			dst[i] = float64(buf[i]>>11) * (1.0 / (1 << 53))
+		}
+		dst = dst[n:]
+	}
+}
+
+// FillExp fills dst with exponentially distributed values of the given
+// rate, consuming one Uint64 output per element (the same draw sequence
+// as repeated Exp calls). It panics if rate <= 0.
+func (s *Source) FillExp(dst []float64, rate float64) {
+	if rate <= 0 {
+		panic("rng: FillExp with non-positive rate")
+	}
+	s.FillFloat64(dst)
+	for i, u := range dst {
+		// Same arithmetic as Exp, bit for bit: -log(1-u) / rate.
+		dst[i] = -math.Log(1.0-u) / rate
+	}
+}
+
 // Split derives an independent child stream identified by id. Two children
 // of the same parent with different ids, and children of different
 // parents, are independent streams. The parent is not advanced, so Split

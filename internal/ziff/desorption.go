@@ -30,16 +30,23 @@ func (z *WithDesorption) Trial() {
 	if z.PDes > 0 && z.src.Float64() < z.PDes {
 		z.trials++
 		s := z.src.Intn(z.lat.N())
-		if z.cfg.Get(s) == CO {
-			z.cfg.Set(s, Empty)
+		if z.cells[s] == CO {
+			z.set(s, Empty)
 		}
 		return
 	}
 	z.ZGB.Trial()
 }
 
-// Step performs one MC step (N trials).
+// Step performs one MC step (N trials). The absorbing condition is
+// narrower than the classic model's: a covered lattice can still evolve
+// as long as some CO can desorb, so Step reports false only with no
+// vacancies AND no desorbable CO (an O-poisoned surface, or any covered
+// surface when PDes is zero).
 func (z *WithDesorption) Step() bool {
+	if z.nEmpty == 0 && (z.PDes == 0 || z.nCO == 0) {
+		return false
+	}
 	for i := 0; i < z.lat.N(); i++ {
 		z.Trial()
 	}

@@ -122,3 +122,24 @@ func TestStrongDesorptionClosesHysteresis(t *testing.T) {
 		}
 	}
 }
+
+// Only CO desorbs, so an O-poisoned surface is absorbing even with
+// desorption enabled, while a CO-covered one is not; with PDes = 0 any
+// covered surface is absorbing (the classic rule).
+func TestDesorptionAbsorbingStates(t *testing.T) {
+	mk := func(pdes float64, sp lattice.Species) *WithDesorption {
+		z := NewWithDesorption(lattice.NewSquare(8), rng.New(3), 0.5, pdes)
+		z.Config().Fill(sp)
+		z.ResyncVacancies()
+		return z
+	}
+	if mk(0.05, O).Step() {
+		t.Fatal("O-poisoned surface stepped despite nothing being able to desorb")
+	}
+	if !mk(0.05, CO).Step() {
+		t.Fatal("CO-covered surface with desorption reported absorbing")
+	}
+	if mk(0, CO).Step() {
+		t.Fatal("covered surface with PDes=0 is absorbing but Step reported true")
+	}
+}

@@ -28,12 +28,21 @@ const (
 
 // ZGB is the classic adsorption-limited simulation.
 type ZGB struct {
-	lat *lattice.Lattice
-	cfg *lattice.Config
-	src *rng.Source
+	lat   *lattice.Lattice
+	cfg   *lattice.Config
+	cells []lattice.Species
+	src   *rng.Source
 
 	// Y is the CO fraction of the impinging gas.
 	Y float64
+
+	// vac is a bitset of vacant sites and nEmpty its population count,
+	// maintained incrementally by every site write so Poisoned is O(1)
+	// instead of a full lattice scan per MC step. nCO counts adsorbed
+	// CO the same way (the desorption extension's absorbing check).
+	vac    []uint64
+	nEmpty int
+	nCO    int
 
 	steps  uint64
 	trials uint64
@@ -53,13 +62,64 @@ func NewOn(cfg *lattice.Config, src *rng.Source, y float64) *ZGB {
 	if y < 0 || y > 1 {
 		panic(fmt.Sprintf("ziff: CO fraction %v outside [0,1]", y))
 	}
-	return &ZGB{
+	z := &ZGB{
 		lat:   cfg.Lattice(),
 		cfg:   cfg,
+		cells: cfg.Cells(),
 		src:   src,
 		Y:     y,
 		nbOff: lattice.Axes4(),
 	}
+	z.ResyncVacancies()
+	return z
+}
+
+// ResyncVacancies rebuilds the vacancy bitset and count from the
+// configuration. The constructor calls it once; callers that mutate the
+// configuration directly (through Config().Set rather than the
+// simulation's own dynamics) must call it again before using Poisoned,
+// VacantCount or Step.
+func (z *ZGB) ResyncVacancies() {
+	n := z.lat.N()
+	if z.vac == nil {
+		z.vac = make([]uint64, (n+63)/64)
+	} else {
+		for i := range z.vac {
+			z.vac[i] = 0
+		}
+	}
+	z.nEmpty, z.nCO = 0, 0
+	for s, sp := range z.cells {
+		switch sp {
+		case Empty:
+			z.vac[uint(s)>>6] |= 1 << (uint(s) & 63)
+			z.nEmpty++
+		case CO:
+			z.nCO++
+		}
+	}
+}
+
+// set writes species sp at site s, keeping the vacancy bitset and count
+// in sync. All simulation writes go through here.
+func (z *ZGB) set(s int, sp lattice.Species) {
+	old := z.cells[s]
+	if (old == Empty) != (sp == Empty) {
+		z.vac[uint(s)>>6] ^= 1 << (uint(s) & 63)
+		if sp == Empty {
+			z.nEmpty++
+		} else {
+			z.nEmpty--
+		}
+	}
+	if (old == CO) != (sp == CO) {
+		if sp == CO {
+			z.nCO++
+		} else {
+			z.nCO--
+		}
+	}
+	z.cells[s] = sp
 }
 
 // Config returns the live configuration.
@@ -79,7 +139,7 @@ func (z *ZGB) reactWithNeighbour(s int, partner lattice.Species) bool {
 	n := 0
 	for _, d := range z.nbOff {
 		t := z.lat.Translate(s, d)
-		if z.cfg.Get(t) == partner {
+		if z.cells[t] == partner {
 			candidates[n] = t
 			n++
 		}
@@ -88,8 +148,8 @@ func (z *ZGB) reactWithNeighbour(s int, partner lattice.Species) bool {
 		return false
 	}
 	t := candidates[z.src.Intn(n)]
-	z.cfg.Set(s, Empty)
-	z.cfg.Set(t, Empty)
+	z.set(s, Empty)
+	z.set(t, Empty)
 	z.co2++
 	return true
 }
@@ -100,34 +160,39 @@ func (z *ZGB) Trial() {
 	s := z.src.Intn(z.lat.N())
 	if z.src.Float64() < z.Y {
 		// CO impingement.
-		if z.cfg.Get(s) != Empty {
+		if z.cells[s] != Empty {
 			return
 		}
-		z.cfg.Set(s, CO)
+		z.set(s, CO)
 		z.reactWithNeighbour(s, O)
 		return
 	}
 	// O2 impingement onto s and a random neighbour.
 	t := z.lat.Translate(s, z.nbOff[z.src.Intn(4)])
-	if z.cfg.Get(s) != Empty || z.cfg.Get(t) != Empty {
+	if z.cells[s] != Empty || z.cells[t] != Empty {
 		return
 	}
-	z.cfg.Set(s, O)
-	z.cfg.Set(t, O)
+	z.set(s, O)
+	z.set(t, O)
 	// Each nascent O scans for CO; order randomised to avoid bias.
 	first, second := s, t
 	if z.src.Bernoulli(0.5) {
 		first, second = t, s
 	}
 	z.reactWithNeighbour(first, CO)
-	if z.cfg.Get(second) == O {
+	if z.cells[second] == O {
 		z.reactWithNeighbour(second, CO)
 	}
 }
 
-// Step performs one MC step (N trials). It always reports true; poisoned
-// lattices simply stop reacting.
+// Step performs one MC step (N trials). It reports false from the
+// poisoned absorbing state (no vacancies: nothing can adsorb, so the
+// classic dynamics cannot evolve further), leaving the state and the
+// random stream untouched, per the Simulator/Engine contract.
 func (z *ZGB) Step() bool {
+	if z.nEmpty == 0 {
+		return false
+	}
 	for i := 0; i < z.lat.N(); i++ {
 		z.Trial()
 	}
@@ -137,10 +202,14 @@ func (z *ZGB) Step() bool {
 
 // Poisoned reports whether the lattice is fully covered and inert:
 // no vacancies and no adjacent CO/O pair (with instantaneous reaction,
-// full coverage by a single species).
+// full coverage by a single species). O(1): the vacancy count is
+// maintained incrementally by every site write.
 func (z *ZGB) Poisoned() bool {
-	return z.cfg.Count(Empty) == 0
+	return z.nEmpty == 0
 }
+
+// VacantCount returns the number of vacant sites, O(1).
+func (z *ZGB) VacantCount() int { return z.nEmpty }
 
 // PhasePoint is one measured point of the phase diagram.
 type PhasePoint struct {

@@ -129,3 +129,56 @@ func BenchmarkZGBTrial(b *testing.B) {
 		z.Trial()
 	}
 }
+
+// A poisoned lattice is absorbing: Step must report false (Engine
+// contract), leaving state and random stream untouched, while the
+// desorption extension keeps stepping (CO can always leave).
+func TestStepReportsFalseWhenPoisoned(t *testing.T) {
+	z := New(lattice.NewSquare(8), rng.New(5), 1.0) // pure CO: poisons fast
+	steps := 0
+	for z.Step() {
+		steps++
+		if steps > 10000 {
+			t.Fatal("y=1 lattice did not poison")
+		}
+	}
+	if !z.Poisoned() || z.VacantCount() != 0 {
+		t.Fatalf("Step returned false but Poisoned=%v vacant=%d", z.Poisoned(), z.VacantCount())
+	}
+	if z.cfg.Coverage(CO) != 1 {
+		t.Fatalf("CO coverage %v after CO poisoning, want 1", z.cfg.Coverage(CO))
+	}
+	before := z.src.State()
+	if z.Step() {
+		t.Fatal("Step on a poisoned lattice reported true")
+	}
+	if z.src.State() != before {
+		t.Fatal("Step on a poisoned lattice consumed randomness")
+	}
+
+	d := NewWithDesorption(lattice.NewSquare(8), rng.New(5), 1.0, 0.05)
+	for i := 0; i < 200; i++ {
+		if !d.Step() {
+			t.Fatal("desorption Step reported false; poisoning is not absorbing with pdes > 0")
+		}
+	}
+}
+
+// The vacancy bookkeeping must track the configuration exactly through
+// the simulation's own dynamics, and ResyncVacancies must repair it
+// after external configuration writes.
+func TestVacancyCountTracksConfig(t *testing.T) {
+	z := New(lattice.NewSquare(16), rng.New(9), 0.5)
+	for i := 0; i < 20; i++ {
+		z.Step()
+		if z.VacantCount() != z.cfg.Count(Empty) {
+			t.Fatalf("step %d: VacantCount %d != Count(Empty) %d",
+				i, z.VacantCount(), z.cfg.Count(Empty))
+		}
+	}
+	z.cfg.Fill(CO) // external write, bypasses the bookkeeping
+	z.ResyncVacancies()
+	if z.VacantCount() != 0 || !z.Poisoned() {
+		t.Fatalf("after Fill+Resync: vacant %d poisoned %v", z.VacantCount(), z.Poisoned())
+	}
+}
