@@ -258,11 +258,11 @@ func TestEnsembleWorkerInvariance(t *testing.T) {
 	ctx := context.Background()
 	spec := zgbEnsembleSpec(t)
 	const replicas, until, every = 6, 10, 1
-	e1, err := parsurf.RunEnsemble(ctx, spec, replicas, 1, until, every)
+	e1, err := parsurf.RunEnsemble(ctx, spec, replicas, 1, until, every, parsurf.KeepReplicas())
 	if err != nil {
 		t.Fatal(err)
 	}
-	e4, err := parsurf.RunEnsemble(ctx, spec, replicas, 4, until, every)
+	e4, err := parsurf.RunEnsemble(ctx, spec, replicas, 4, until, every, parsurf.KeepReplicas())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +280,7 @@ func TestEnsembleWorkerInvariance(t *testing.T) {
 // trajectories, and the merged mean lies within the replica envelope.
 func TestEnsembleReplicaIndependence(t *testing.T) {
 	spec := zgbEnsembleSpec(t)
-	ens, err := parsurf.RunEnsemble(context.Background(), spec, 4, 2, 10, 1)
+	ens, err := parsurf.RunEnsemble(context.Background(), spec, 4, 2, 10, 1, parsurf.KeepReplicas())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,26 +2,66 @@ package main
 
 import (
 	"fmt"
+	"runtime"
 
+	"parsurf"
 	"parsurf/internal/trace"
 	"parsurf/internal/ziff"
 )
 
-// runZiff sweeps the classic ZGB phase diagram and reports the kinetic
-// phase transitions (§1's "experimental data for the simulation of Ziff
-// model"; literature: y1 ≈ 0.39, y2 ≈ 0.525).
+// runZiff sweeps the classic ZGB phase diagram as an ensemble
+// statement — the paper's claims are means over stochastic replicas —
+// through the parameter-sweep API: one spec per CO fraction y, a
+// replica ensemble per spec, all (y, replica) jobs flattened onto a
+// single worker pool. Replica-level measurements (CO2 production at
+// the window boundaries, poisoning) stream through a per-replica
+// observer, so nothing retains whole replica series. Reports the
+// kinetic phase transitions (§1's "experimental data for the
+// simulation of Ziff model"; literature: y1 ≈ 0.39, y2 ≈ 0.525).
 func runZiff(opt options) error {
-	l, equil, measure := 64, 400, 150
+	l, equil, measure, replicas := 64, 400, 150, 4
 	step := 0.01
 	if opt.quick {
-		l, equil, measure = 32, 200, 60
+		l, equil, measure, replicas = 32, 200, 60, 2
 		step = 0.02
 	}
 	var ys []float64
 	for y := 0.32; y <= 0.60+1e-9; y += step {
 		ys = append(ys, y)
 	}
-	points := ziff.Sweep(l, ys, equil, measure, opt.seed)
+
+	specs := make([]*parsurf.SessionSpec, len(ys))
+	for i, y := range ys {
+		spec, err := parsurf.NewSpec(
+			parsurf.WithLattice(l, l),
+			parsurf.WithEngine("ziff", parsurf.COFraction(y)),
+			parsurf.WithSeed(opt.seed+uint64(i)),
+		)
+		if err != nil {
+			return err
+		}
+		specs[i] = spec
+	}
+
+	// Per-(variant, replica) CO2 ledger sampled on the shared TimeGrid;
+	// each slot is written only by its own replica's goroutine.
+	ledgers := make([][]ziff.ReplicaLedger, len(ys))
+	for v := range ledgers {
+		ledgers[v] = make([]ziff.ReplicaLedger, replicas)
+	}
+	until, every := float64(equil+measure), 1.0
+	ensembles, err := parsurf.RunSweep(opt.ctx, specs, replicas, runtime.NumCPU(), until, every,
+		parsurf.ObserveReplicas(func(variant, replica int, t float64, sess *parsurf.Session) {
+			ledgers[variant][replica].Record(sess.Engine().(*parsurf.ZiffZGB), t, equil)
+		}))
+	if err != nil {
+		return err
+	}
+
+	points := make([]ziff.PhasePoint, len(ys))
+	for v, ens := range ensembles {
+		points[v] = ziff.EnsemblePoint(ys[v], ens.Mean, equil, measure, float64(l*l), ledgers[v])
+	}
 
 	rows := make([][]string, 0, len(points))
 	for _, p := range points {
@@ -41,6 +81,7 @@ func runZiff(opt options) error {
 			state,
 		})
 	}
+	fmt.Printf("ensemble of %d replicas per y point:\n", replicas)
 	fmt.Print(trace.Table([]string{"y_CO", "θ_CO", "θ_O", "R_CO2", "state"}, rows))
 	if y1, y2, ok := ziff.Transitions(points); ok {
 		fmt.Printf("estimated transitions: y1 = %.3f (lit. 0.39), y2 = %.3f (lit. 0.525)\n", y1, y2)

@@ -144,11 +144,14 @@ func run(modelName, modelFile, method string, size int, tEnd, dt float64, seed u
 	var names []string
 	var series []*stats.Series
 	if replicas > 1 {
+		// Streaming ensemble: replicas merge into running moments as
+		// they finish, so memory stays O(species × grid) however many
+		// replicas run; nothing needs the raw members here.
 		ens, err := parsurf.RunEnsemble(context.Background(), spec, replicas, par, tEnd, dt)
 		if err != nil {
 			return err
 		}
-		names = ens.Replicas[0].Session.SpeciesNames()
+		names = spec.SpeciesNames()
 		series = ens.Mean
 	} else {
 		sess, err := spec.Session()

@@ -3,35 +3,93 @@ package parsurf
 import (
 	"context"
 	"fmt"
-	"sync"
 
+	"parsurf/internal/ensemble"
 	"parsurf/internal/rng"
 	"parsurf/internal/sim"
-	"parsurf/internal/stats"
 )
 
-// Replica is the outcome of one ensemble member: its final session
-// state and the per-species coverage series it recorded.
+// TimeGrid is the shared sampling-and-merge grid of the ensemble
+// runner: the points 0, every, 2·every, … up to `until`, plus a tail
+// point at exactly `until` when the horizon is off the step lattice.
+// Points are derived from their index (i·every, never an accumulated
+// sum), and replicas sample on the very grid the merge aggregates, so
+// the Mean/Std series and every replica's coverage series always share
+// the same exact float64 time points — no interpolation, no
+// truncated-grid misalignment.
+type TimeGrid = ensemble.TimeGrid
+
+// NewTimeGrid returns the grid RunEnsemble and RunSweep use for the
+// given horizon and sampling interval.
+func NewTimeGrid(until, every float64) (TimeGrid, error) {
+	return ensemble.NewTimeGrid(until, every)
+}
+
+// Replica is the outcome of one ensemble member, retained only when
+// KeepReplicas is passed: its final session state and the per-species
+// coverage series it recorded on the ensemble grid.
 type Replica struct {
 	// Session is the replica's session after the run (final
 	// configuration, engine counters).
 	Session *Session
 	// Coverage holds one series per species, indexed like the model's
-	// species domain.
+	// species domain, sampled exactly at the ensemble TimeGrid points.
+	// A replica that hit an absorbing state holds its frozen coverage
+	// for every remaining grid point.
 	Coverage []*Series
 	// Stats summarises the replica's run.
 	Stats RunStats
 }
 
-// Ensemble is the merged outcome of RunEnsemble.
+// Ensemble is the merged outcome of RunEnsemble (or one variant of
+// RunSweep).
 type Ensemble struct {
+	// Grid is the time grid every replica sampled on and Mean/Std are
+	// defined over.
+	Grid TimeGrid
 	// Replicas are the members in replica order (independent of the
-	// worker count).
+	// worker count). Nil unless KeepReplicas was passed: by default
+	// replicas stream through the merge and only the O(species × grid)
+	// moments are retained.
 	Replicas []*Replica
 	// Mean and Std are the per-species pointwise mean and sample
-	// standard deviation across replicas, on a uniform time grid.
+	// standard deviation across replicas, on the Grid points.
 	Mean []*Series
 	Std  []*Series
+}
+
+// ReplicaObserver is a per-replica hook invoked at every grid point,
+// on the replica's worker goroutine, with the replica's live session —
+// variant is the spec index of a RunSweep (always 0 for RunEnsemble).
+// Calls for one replica arrive in grid order from a single goroutine;
+// calls for different replicas are concurrent, so observers must only
+// write to replica-local state (e.g. an element of a pre-sized slice).
+// For a replica frozen in an absorbing state the hook still fires at
+// every remaining grid point with the final state.
+type ReplicaObserver func(variant, replica int, t float64, sess *Session)
+
+// EnsembleOption configures RunEnsemble / RunSweep.
+type EnsembleOption func(*ensembleConfig)
+
+type ensembleConfig struct {
+	keep      bool
+	observers []ReplicaObserver
+}
+
+// KeepReplicas retains every replica's session and coverage series on
+// the Ensemble. Without it the runner streams: each replica's samples
+// merge into the running moments and the replica is released, keeping
+// memory O(species × grid) regardless of the replica count.
+func KeepReplicas() EnsembleOption {
+	return func(c *ensembleConfig) { c.keep = true }
+}
+
+// ObserveReplicas registers a per-replica observer (see
+// ReplicaObserver) — the streaming-friendly way to extract
+// engine-specific measurements (reaction counters, poisoning flags)
+// without retaining whole replicas.
+func ObserveReplicas(obs ReplicaObserver) EnsembleOption {
+	return func(c *ensembleConfig) { c.observers = append(c.observers, obs) }
 }
 
 // replicaStreamID derives replica i's engine stream from the spec seed.
@@ -42,96 +100,144 @@ func replicaStreamID(i int) uint64 { return uint64(i) + 1 }
 // RunEnsemble runs independent replicas of the spec'd simulation and
 // merges their coverage series. Replica i draws from the split stream
 // NewRNG(seed).Split(i+1), so the members are statistically independent
-// yet fully deterministic: the results are bit-identical for every
-// workers value, and workers only sets the number of goroutines running
-// replicas concurrently (use runtime.NumCPU() for wall-clock speedup on
-// sweeps). Every replica samples all species' coverages every `every`
-// time units until `until`; the merged Mean/Std series live on a
-// uniform grid over [0, until].
+// yet fully deterministic: replica trajectories AND the merged Mean/Std
+// are bit-identical for every workers value (replicas merge in index
+// order no matter when they finish), and workers only sets the number
+// of goroutines running replicas concurrently (use runtime.NumCPU()
+// for wall-clock speedup on sweeps). Every replica samples all
+// species' coverages exactly at the TimeGrid points over [0, until];
+// the merged Mean/Std series live on that same grid.
 //
-// The first replica error (including context cancellation) aborts the
-// run.
-func RunEnsemble(ctx context.Context, spec *SessionSpec, replicas, workers int, until, every float64) (*Ensemble, error) {
+// The first replica failure cancels all sibling replicas (they abort
+// within one engine step) and is returned as-is; siblings' induced
+// context.Canceled errors are never reported in its place.
+func RunEnsemble(ctx context.Context, spec *SessionSpec, replicas, workers int, until, every float64, opts ...EnsembleOption) (*Ensemble, error) {
 	if spec == nil {
 		return nil, fmt.Errorf("parsurf: RunEnsemble needs a spec")
 	}
-	if replicas < 1 {
-		return nil, fmt.Errorf("parsurf: RunEnsemble needs at least one replica, got %d", replicas)
+	out, err := RunSweep(ctx, []*SessionSpec{spec}, replicas, workers, until, every, opts...)
+	if err != nil {
+		return nil, err
 	}
-	if until <= 0 || every <= 0 {
-		return nil, fmt.Errorf("parsurf: RunEnsemble needs positive until and every, got %v and %v", until, every)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > replicas {
-		workers = replicas
-	}
-
-	ens := &Ensemble{Replicas: make([]*Replica, replicas)}
-	errs := make([]error, replicas)
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				ens.Replicas[i], errs[i] = runReplica(ctx, spec, i, until, every)
-			}
-		}()
-	}
-	for i := 0; i < replicas; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Merge: per species, aggregate the replica series onto the common
-	// grid. Grid resolution matches the sampling schedule.
-	numSpecies := ens.Replicas[0].Session.NumSpecies()
-	n := int(until/every) + 1
-	if n < 2 {
-		n = 2
-	}
-	ens.Mean = make([]*Series, numSpecies)
-	ens.Std = make([]*Series, numSpecies)
-	group := make([]*Series, replicas)
-	for sp := 0; sp < numSpecies; sp++ {
-		for i, r := range ens.Replicas {
-			group[i] = r.Coverage[sp]
-		}
-		ens.Mean[sp], ens.Std[sp] = stats.Aggregate(group, 0, until, n)
-	}
-	return ens, nil
+	return out[0], nil
 }
 
-// runReplica builds and runs ensemble member i.
-func runReplica(ctx context.Context, spec *SessionSpec, i int, until, every float64) (*Replica, error) {
+// RunSweep runs one ensemble per spec variant — e.g. a y_CO grid for a
+// phase diagram — over a single worker pool spanning every
+// (variant, replica) job, so a whole parameter sweep parallelises as
+// one flat job set with no per-variant barrier. Each variant's
+// replicas draw from that variant spec's seed exactly as RunEnsemble's
+// do, and each variant merges on the shared TimeGrid; results are
+// bit-identical for every workers value. The first failure anywhere
+// cancels every remaining job, and the returned error is that
+// failure, not an induced cancellation.
+func RunSweep(ctx context.Context, specs []*SessionSpec, replicas, workers int, until, every float64, opts ...EnsembleOption) ([]*Ensemble, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("parsurf: sweep needs at least one spec")
+	}
+	for v, spec := range specs {
+		if spec == nil {
+			return nil, fmt.Errorf("parsurf: sweep variant %d is a nil spec", v)
+		}
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("parsurf: ensemble needs at least one replica, got %d", replicas)
+	}
+	if until <= 0 || every <= 0 {
+		return nil, fmt.Errorf("parsurf: ensemble needs positive until and every, got %v and %v", until, every)
+	}
+	var cfg ensembleConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	grid, err := ensemble.NewTimeGrid(until, every)
+	if err != nil {
+		return nil, fmt.Errorf("parsurf: %w", err)
+	}
+
+	out := make([]*Ensemble, len(specs))
+	accs := make([]*ensemble.Accumulator, len(specs))
+	for v, spec := range specs {
+		out[v] = &Ensemble{Grid: grid}
+		if cfg.keep {
+			out[v].Replicas = make([]*Replica, replicas)
+		}
+		// The reorder window bounds the streaming buffer at roughly the
+		// worker count even when one early replica far outlives its
+		// siblings.
+		accs[v] = ensemble.NewAccumulator(spec.NumSpecies(), grid.Len(), workers)
+	}
+	times := grid.Times() // one shared copy: Mean/Std/replica series all point at it
+	err = ensemble.Run(ctx, len(specs)*replicas, workers, func(ctx context.Context, job int) error {
+		v, i := job/replicas, job%replicas
+		rep, values, err := runReplica(ctx, specs[v], v, i, grid, times, &cfg)
+		if err == nil {
+			err = accs[v].Add(ctx, i, values)
+		}
+		if err != nil {
+			if len(specs) > 1 {
+				return fmt.Errorf("parsurf: sweep variant %d replica %d: %w", v, i, err)
+			}
+			return fmt.Errorf("parsurf: replica %d: %w", i, err)
+		}
+		if cfg.keep {
+			out[v].Replicas[i] = rep
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for v := range out {
+		mean, std := accs[v].MeanStd()
+		out[v].Mean = seriesOnGrid(times, mean)
+		out[v].Std = seriesOnGrid(times, std)
+	}
+	return out, nil
+}
+
+// seriesOnGrid wraps per-species sample rows and their shared grid
+// times as Series values.
+func seriesOnGrid(times []float64, rows [][]float64) []*Series {
+	out := make([]*Series, len(rows))
+	for i, row := range rows {
+		out[i] = &Series{T: times, X: row}
+	}
+	return out
+}
+
+// runReplica builds and runs ensemble member i of variant spec,
+// sampling per-species coverages at every grid point.
+func runReplica(ctx context.Context, spec *SessionSpec, variant, i int, grid TimeGrid, times []float64, cfg *ensembleConfig) (*Replica, [][]float64, error) {
 	sess, err := spec.build(rng.New(spec.seed).Split(replicaStreamID(i)))
 	if err != nil {
-		return nil, fmt.Errorf("parsurf: replica %d: %w", i, err)
+		return nil, nil, err
 	}
 	numSpecies := sess.NumSpecies()
-	coverage := make([]*Series, numSpecies)
-	for sp := range coverage {
-		coverage[sp] = &Series{}
+	n := float64(sess.Lattice().N())
+	values := make([][]float64, numSpecies)
+	for sp := range values {
+		values[sp] = make([]float64, grid.Len())
 	}
-	obs := sim.ObserverFunc(func(t float64, cfg *Config) {
-		counts := cfg.CountAll(numSpecies)
-		n := float64(sess.Lattice().N())
-		for sp := range coverage {
-			coverage[sp].Append(t, float64(counts[sp])/n)
+	steps, err := sim.RunGrid(ctx, sess.Engine(), grid, func(k int, c *Config) {
+		counts := c.CountAll(numSpecies)
+		for sp := range values {
+			values[sp][k] = float64(counts[sp]) / n
+		}
+		for _, obs := range cfg.observers {
+			obs(variant, i, grid.At(k), sess)
 		}
 	})
-	st, err := sess.Run(ctx, Until(until), SampleEvery(every, obs))
 	if err != nil {
-		return nil, fmt.Errorf("parsurf: replica %d: %w", i, err)
+		return nil, nil, err
 	}
-	return &Replica{Session: sess, Coverage: coverage, Stats: st}, nil
+	if !cfg.keep {
+		return nil, values, nil
+	}
+	rep := &Replica{
+		Session:  sess,
+		Coverage: seriesOnGrid(times, values),
+		Stats:    RunStats{Steps: steps, Samples: grid.Len(), Time: sess.Engine().Time()},
+	}
+	return rep, values, nil
 }

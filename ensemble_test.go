@@ -1,0 +1,311 @@
+package parsurf_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"parsurf"
+	"parsurf/internal/stats"
+	"parsurf/internal/ziff"
+)
+
+// The ROADMAP grid-truncation bug, fixed: for until=1.0, every=0.1 the
+// Mean/Std grid has exactly 11 points, every point is the index-derived
+// i·0.1 (1.0 at the end), and the replica coverage series sample on the
+// very same grid — alignment is exact, no interpolation anywhere.
+func TestEnsembleGridAlignment(t *testing.T) {
+	spec := zgbEnsembleSpec(t)
+	const replicas = 3
+	ens, err := parsurf.RunEnsemble(context.Background(), spec, replicas, 2, 1.0, 0.1,
+		parsurf.KeepReplicas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ens.Grid.Len() != 11 {
+		t.Fatalf("grid has %d points, want 11", ens.Grid.Len())
+	}
+	for sp, m := range ens.Mean {
+		if m.Len() != 11 || ens.Std[sp].Len() != 11 {
+			t.Fatalf("species %d: Mean/Std have %d/%d points, want 11", sp, m.Len(), ens.Std[sp].Len())
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if want := float64(i) * 0.1; ens.Mean[0].T[i] != want {
+			t.Errorf("Mean grid point %d is %v, want exactly %v", i, ens.Mean[0].T[i], want)
+		}
+	}
+	if ens.Mean[0].T[10] != 1.0 {
+		t.Errorf("final Mean grid point is %v, want exactly 1.0", ens.Mean[0].T[10])
+	}
+	// Exact alignment: replica sample times ARE the merge grid times.
+	for r, rep := range ens.Replicas {
+		for sp, cov := range rep.Coverage {
+			if cov.Len() != 11 {
+				t.Fatalf("replica %d species %d sampled %d points, want 11", r, sp, cov.Len())
+			}
+			for i := range cov.T {
+				if cov.T[i] != ens.Mean[sp].T[i] {
+					t.Fatalf("replica %d species %d sample time %d (%v) differs from merge grid (%v)",
+						r, sp, i, cov.T[i], ens.Mean[sp].T[i])
+				}
+			}
+		}
+	}
+	// And the merge is the plain per-point Welford over replica values —
+	// no resampling in between.
+	for sp := range ens.Mean {
+		for i := range ens.Mean[sp].X {
+			var w stats.Welford
+			for _, rep := range ens.Replicas {
+				w.Add(rep.Coverage[sp].X[i])
+			}
+			if ens.Mean[sp].X[i] != w.Mean() || ens.Std[sp].X[i] != w.Std() {
+				t.Fatalf("species %d point %d: Mean/Std %v/%v, want the direct Welford %v/%v",
+					sp, i, ens.Mean[sp].X[i], ens.Std[sp].X[i], w.Mean(), w.Std())
+			}
+		}
+	}
+}
+
+// Replica trajectories AND the merged moments are bit-identical for
+// every worker count: replicas stream in completion order but commit
+// in index order. Run under -race in CI.
+func TestEnsembleWorkerDeterminism(t *testing.T) {
+	spec := zgbEnsembleSpec(t)
+	const replicas, until, every = 6, 5, 0.5
+	var ref *parsurf.Ensemble
+	for _, workers := range []int{1, 4, replicas} {
+		ens, err := parsurf.RunEnsemble(context.Background(), spec, replicas, workers, until, every,
+			parsurf.KeepReplicas())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = ens
+			continue
+		}
+		if !seriesEqual(ref.Mean, ens.Mean) || !seriesEqual(ref.Std, ens.Std) {
+			t.Fatalf("Mean/Std differ between 1 and %d workers", workers)
+		}
+		for i := range ens.Replicas {
+			if !seriesEqual(ref.Replicas[i].Coverage, ens.Replicas[i].Coverage) {
+				t.Fatalf("replica %d trajectory differs between 1 and %d workers", i, workers)
+			}
+		}
+	}
+}
+
+// Without KeepReplicas the runner streams: no members are retained,
+// only the merged moments come back.
+func TestEnsembleStreamsByDefault(t *testing.T) {
+	spec := zgbEnsembleSpec(t)
+	ens, err := parsurf.RunEnsemble(context.Background(), spec, 4, 2, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ens.Replicas != nil {
+		t.Fatalf("replicas retained without KeepReplicas: %d", len(ens.Replicas))
+	}
+	if len(ens.Mean) != spec.NumSpecies() || len(ens.Std) != spec.NumSpecies() {
+		t.Fatalf("got %d/%d Mean/Std series, want %d", len(ens.Mean), len(ens.Std), spec.NumSpecies())
+	}
+	if ens.Mean[0].Len() != ens.Grid.Len() {
+		t.Fatalf("Mean has %d points, grid has %d", ens.Mean[0].Len(), ens.Grid.Len())
+	}
+}
+
+// An absorbed replica (y=1 CO-poisons almost immediately) holds its
+// frozen coverage for every remaining grid point, so the merge gets
+// exact values on the full grid from every member.
+func TestEnsembleAbsorbedReplicaFillsGrid(t *testing.T) {
+	spec, err := parsurf.NewSpec(
+		parsurf.WithLattice(16, 16),
+		parsurf.WithEngine("ziff", parsurf.COFraction(1.0)),
+		parsurf.WithSeed(9),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := parsurf.RunEnsemble(context.Background(), spec, 3, 2, 50, 1, parsurf.KeepReplicas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := int(ziff.CO)
+	if got := ens.Mean[co].Len(); got != 51 {
+		t.Fatalf("Mean has %d points, want 51", got)
+	}
+	if last := ens.Mean[co].X[50]; last != 1.0 {
+		t.Fatalf("mean CO coverage at the horizon is %v, want 1.0 (all replicas poisoned)", last)
+	}
+	for r, rep := range ens.Replicas {
+		if !rep.Session.Engine().(*parsurf.ZiffZGB).Poisoned() {
+			t.Fatalf("replica %d not poisoned at y=1", r)
+		}
+		if rep.Coverage[co].Len() != 51 {
+			t.Fatalf("replica %d coverage has %d points, want the full grid", r, rep.Coverage[co].Len())
+		}
+	}
+}
+
+// ObserveReplicas fires at every grid point with the replica's live
+// session, on the replica's goroutine.
+func TestEnsembleObserveReplicas(t *testing.T) {
+	spec := zgbEnsembleSpec(t)
+	const replicas, until, every = 3, 5, 1
+	var calls atomic.Int64
+	finalCO2 := make([]uint64, replicas)
+	ens, err := parsurf.RunEnsemble(context.Background(), spec, replicas, 2, until, every,
+		parsurf.ObserveReplicas(func(variant, replica int, tm float64, sess *parsurf.Session) {
+			if variant != 0 {
+				t.Errorf("RunEnsemble observer saw variant %d", variant)
+			}
+			calls.Add(1)
+			finalCO2[replica] = sess.Engine().(*parsurf.ZiffZGB).CO2Count()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(replicas * ens.Grid.Len()); calls.Load() != want {
+		t.Fatalf("observer fired %d times, want %d", calls.Load(), want)
+	}
+	for r, c := range finalCO2 {
+		if c == 0 {
+			t.Errorf("replica %d produced no CO2 in the reactive window", r)
+		}
+	}
+}
+
+// The ROADMAP no-sibling-cancel bug, fixed at the facade: the failing
+// variant's build error aborts the healthy replicas (which would
+// otherwise run to an effectively infinite horizon) and is returned
+// as-is — not as an induced context.Canceled.
+func TestSweepFirstErrorCancelsSiblings(t *testing.T) {
+	boom := errors.New("boom: partition builder failed")
+	bad, err := parsurf.NewSpec(
+		parsurf.WithModel(parsurf.NewZGBModel(parsurf.DefaultZGBRates())),
+		parsurf.WithLattice(20, 20),
+		parsurf.WithEngine("lpndca", parsurf.Trials(2), parsurf.PartitionWith(
+			func(*parsurf.Model, *parsurf.Lattice) (*parsurf.Partition, error) {
+				return nil, boom
+			})),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := zgbEnsembleSpec(t)
+	// The bad variant fails while the healthy replica is mid-run toward
+	// t=1e9; only prompt sibling cancellation lets this test finish.
+	_, err = parsurf.RunSweep(context.Background(),
+		[]*parsurf.SessionSpec{bad, healthy}, 1, 2, 1e9, 1e6)
+	if err == nil {
+		t.Fatal("sweep with a failing variant returned nil error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("sweep returned %v, want the root-cause build error", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("sweep reported an induced cancellation: %v", err)
+	}
+	if !strings.Contains(err.Error(), "variant 0") {
+		t.Errorf("error %q does not name the failing variant", err)
+	}
+}
+
+// Caller cancellation still surfaces as context.Canceled.
+func TestEnsembleParentCancellation(t *testing.T) {
+	spec := zgbEnsembleSpec(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := parsurf.RunEnsemble(ctx, spec, 4, 2, 10, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunEnsemble returned %v, want context.Canceled", err)
+	}
+}
+
+// A sweep runs one independent ensemble per variant: different y
+// values give different coverages, every variant merges on the shared
+// grid, and each variant's replicas reproduce what a standalone
+// RunEnsemble of that spec computes.
+func TestSweepMatchesStandaloneEnsembles(t *testing.T) {
+	ys := []float64{0.45, 0.55}
+	specs := make([]*parsurf.SessionSpec, len(ys))
+	for i, y := range ys {
+		spec, err := parsurf.NewSpec(
+			parsurf.WithLattice(24, 24),
+			parsurf.WithEngine("ziff", parsurf.COFraction(y)),
+			parsurf.WithSeed(42+uint64(i)),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = spec
+	}
+	const replicas, until, every = 3, 5, 1
+	swept, err := parsurf.RunSweep(context.Background(), specs, replicas, 3, until, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swept) != len(ys) {
+		t.Fatalf("sweep returned %d ensembles for %d specs", len(swept), len(ys))
+	}
+	if seriesEqual(swept[0].Mean, swept[1].Mean) {
+		t.Error("different y variants produced identical means")
+	}
+	for v := range specs {
+		solo, err := parsurf.RunEnsemble(context.Background(), specs[v], replicas, 2, until, every)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seriesEqual(solo.Mean, swept[v].Mean) || !seriesEqual(solo.Std, swept[v].Std) {
+			t.Errorf("variant %d: sweep result differs from standalone RunEnsemble", v)
+		}
+	}
+}
+
+// Validation errors for the sweep entry point.
+func TestSweepValidation(t *testing.T) {
+	ctx := context.Background()
+	spec := zgbEnsembleSpec(t)
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"no specs", func() error {
+			_, err := parsurf.RunSweep(ctx, nil, 1, 1, 1, 1)
+			return err
+		}},
+		{"nil spec", func() error {
+			_, err := parsurf.RunSweep(ctx, []*parsurf.SessionSpec{spec, nil}, 1, 1, 1, 1)
+			return err
+		}},
+		{"zero replicas", func() error {
+			_, err := parsurf.RunSweep(ctx, []*parsurf.SessionSpec{spec}, 0, 1, 1, 1)
+			return err
+		}},
+		{"degenerate grid", func() error {
+			_, err := parsurf.RunSweep(ctx, []*parsurf.SessionSpec{spec}, 1, 1, 1, 0)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		if tc.run() == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+// The facade TimeGrid constructor mirrors the internal one.
+func TestNewTimeGridFacade(t *testing.T) {
+	g, err := parsurf.NewTimeGrid(1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 11 || g.At(10) != 1.0 {
+		t.Fatalf("facade grid: %d points ending at %v", g.Len(), g.At(g.Len()-1))
+	}
+	if _, err := parsurf.NewTimeGrid(0, 1); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}

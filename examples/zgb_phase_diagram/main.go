@@ -1,70 +1,30 @@
 // ZGB phase diagram: sweep the CO fraction y across the kinetic phase
-// transitions of the Ziff–Gulari–Barshad model and report coverages,
-// CO2 rate and the estimated transition points y1 and y2. Each point is
-// a Session running the model-free "ziff" engine at a different y.
+// transitions of the Ziff–Gulari–Barshad model and report ensemble
+// coverages, CO2 rate and the estimated transition points y1 and y2.
+// Each point is a spec variant of one parsurf.RunSweep call: an
+// ensemble of replicas runs per y on a single flat worker pool, the
+// merged Mean/Std series live on the shared TimeGrid, and per-replica
+// counters (CO2 production, poisoning) stream through a replica
+// observer instead of retaining raw members.
 //
-//	go run ./examples/zgb_phase_diagram [-l 48] [-fine]
+//	go run ./examples/zgb_phase_diagram [-l 48] [-fine] [-replicas 4]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"runtime"
 
 	"parsurf"
 	"parsurf/internal/trace"
 	"parsurf/internal/ziff"
 )
 
-// measure runs one phase-diagram point through the Session API: equil
-// MC steps of relaxation, then measure MC steps of averaging (the ziff
-// clock counts MC steps). A poisoned lattice is inert, so both phases
-// stop early when poisoning is detected instead of burning the full
-// budget on a frozen surface.
-func measure(ctx context.Context, l int, y float64, equil, measure int, seed uint64) ziff.PhasePoint {
-	sess, err := parsurf.NewSession(
-		parsurf.WithLattice(l, l),
-		parsurf.WithEngine("ziff", parsurf.COFraction(y)),
-		parsurf.WithSeed(seed),
-	)
-	if err != nil {
-		panic(err)
-	}
-	z := sess.Engine().(*parsurf.ZiffZGB)
-	step := func() {
-		if _, err := sess.Run(ctx, parsurf.ForSteps(1)); err != nil {
-			panic(err)
-		}
-	}
-	for i := 0; i < equil && !z.Poisoned(); i++ {
-		step()
-	}
-	co2Before := z.CO2Count()
-	cfg := sess.Config()
-	var sumCO, sumO, sumE float64
-	steps := 0
-	for i := 0; i < measure; i++ {
-		step()
-		steps++
-		sumCO += cfg.Coverage(ziff.CO)
-		sumO += cfg.Coverage(ziff.O)
-		sumE += cfg.Coverage(ziff.Empty)
-		if z.Poisoned() {
-			break
-		}
-	}
-	pt := ziff.PhasePoint{Y: y, Poisoned: z.Poisoned()}
-	n := float64(sess.Lattice().N())
-	pt.CoCO = sumCO / float64(steps)
-	pt.CoO = sumO / float64(steps)
-	pt.CoEmpty = sumE / float64(steps)
-	pt.Rate = float64(z.CO2Count()-co2Before) / float64(steps) / n
-	return pt
-}
-
 func main() {
 	l := flag.Int("l", 48, "lattice side")
 	fine := flag.Bool("fine", false, "fine y grid (slower, sharper transitions)")
+	replicas := flag.Int("replicas", 4, "stochastic replicas per y point")
 	flag.Parse()
 
 	var ys []float64
@@ -76,15 +36,47 @@ func main() {
 		ys = append(ys, y)
 	}
 
-	ctx := context.Background()
 	equil, meas := 300, 100
-	points := make([]ziff.PhasePoint, len(ys))
+	until, every := float64(equil+meas), 1.0
+
+	specs := make([]*parsurf.SessionSpec, len(ys))
 	for i, y := range ys {
-		points[i] = measure(ctx, *l, y, equil, meas, 42+uint64(i))
+		spec, err := parsurf.NewSpec(
+			parsurf.WithLattice(*l, *l),
+			parsurf.WithEngine("ziff", parsurf.COFraction(y)),
+			parsurf.WithSeed(42+uint64(i)),
+		)
+		if err != nil {
+			panic(err)
+		}
+		specs[i] = spec
+	}
+
+	// Replica-local CO2 ledgers, one slot per (y variant, replica);
+	// each slot is only touched by its own replica's goroutine.
+	ledgers := make([][]ziff.ReplicaLedger, len(ys))
+	for v := range ledgers {
+		ledgers[v] = make([]ziff.ReplicaLedger, *replicas)
+	}
+	ensembles, err := parsurf.RunSweep(context.Background(), specs, *replicas, runtime.NumCPU(),
+		until, every,
+		parsurf.ObserveReplicas(func(variant, replica int, t float64, sess *parsurf.Session) {
+			ledgers[variant][replica].Record(sess.Engine().(*parsurf.ZiffZGB), t, equil)
+		}))
+	if err != nil {
+		panic(err)
+	}
+
+	points := make([]ziff.PhasePoint, len(ys))
+	sigmaCO := make([]float64, len(ys))
+	for v, ens := range ensembles {
+		points[v] = ziff.EnsemblePoint(ys[v], ens.Mean, equil, meas, float64(*l)*float64(*l), ledgers[v])
+		// Replica spread of the CO coverage over the same window.
+		sigmaCO[v] = ziff.WindowMean(ens.Std[ziff.CO], equil)
 	}
 
 	rows := make([][]string, 0, len(points))
-	for _, p := range points {
+	for v, p := range points {
 		state := "reactive"
 		if p.Poisoned {
 			if p.CoCO > p.CoO {
@@ -96,13 +88,15 @@ func main() {
 		rows = append(rows, []string{
 			fmt.Sprintf("%.3f", p.Y),
 			fmt.Sprintf("%.3f", p.CoCO),
+			fmt.Sprintf("%.3f", sigmaCO[v]),
 			fmt.Sprintf("%.3f", p.CoO),
 			fmt.Sprintf("%.3f", p.CoEmpty),
 			fmt.Sprintf("%.4f", p.Rate),
 			state,
 		})
 	}
-	fmt.Print(trace.Table([]string{"y_CO", "θ_CO", "θ_O", "θ_*", "R_CO2", "state"}, rows))
+	fmt.Printf("ensemble of %d replicas per y point (%dx%d lattice):\n", *replicas, *l, *l)
+	fmt.Print(trace.Table([]string{"y_CO", "θ_CO", "σ(θ_CO)", "θ_O", "θ_*", "R_CO2", "state"}, rows))
 
 	if y1, y2, ok := ziff.Transitions(points); ok {
 		fmt.Printf("\nkinetic transitions: y1 ≈ %.3f (literature 0.39), y2 ≈ %.3f (literature 0.525)\n", y1, y2)

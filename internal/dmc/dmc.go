@@ -15,7 +15,10 @@
 // disabled reactions and serve as fast exact baselines and cross-checks.
 package dmc
 
-import "parsurf/internal/lattice"
+import (
+	"parsurf/internal/lattice"
+	"parsurf/internal/timegrid"
+)
 
 // Simulator is the common interface of all engines in this repository
 // (DMC and CA families alike): advance the state and report the current
@@ -50,49 +53,35 @@ func RunUntil(sim Simulator, t float64) int {
 // exactly when tEnd is not on the dt grid (so the tail of the run is
 // never dropped). The observation function reads the live configuration
 // through the closure.
+//
+// The sample points come from timegrid.From — index-derived, never
+// accumulated — so every consumer of the same (origin, tEnd, dt)
+// schedule (this function, the context-aware runners in internal/sim,
+// and the ensemble merge) lands on exactly the same float64 grid.
+// A degenerate schedule (dt too small to advance the clock's floats,
+// or fine enough to exceed the grid-point cap) panics — Sample has no
+// error channel, and silently taking zero samples would hand callers
+// an empty series; the context-aware sim.RunContext returns the same
+// condition as an error.
 func Sample(sim Simulator, dt, tEnd float64, observe func(t float64)) {
-	SampleFunc(sim.Time,
-		func(t float64) bool { RunUntil(sim, t); return true },
-		dt, tEnd,
-		func() { observe(sim.Time()) })
-}
-
-// SampleFunc drives the dt sampling schedule shared by Sample and the
-// context-aware runners: observe fires at every grid point
-// t0, t0+dt, …, plus once at tEnd exactly when the grid misses it.
-// runTo must advance the simulation until its clock reaches t (or it
-// can advance no further) and report whether to continue; returning
-// false stops the schedule immediately *without* observing (external
-// cancellation). An absorbing state — the clock still short of the
-// requested grid point after runTo — records one final sample and
-// stops.
-func SampleFunc(timeOf func() float64, runTo func(t float64) bool, dt, tEnd float64, observe func()) {
-	next := timeOf()
-	if next > tEnd {
-		return
+	grid, err := timegrid.From(sim.Time(), tEnd, dt)
+	if err != nil {
+		panic("dmc: " + err.Error())
 	}
-	last := next
-	for next <= tEnd {
-		if !runTo(next) {
+	for k := 0; k < grid.Len(); k++ {
+		t := grid.At(k)
+		if k == grid.Len()-1 && grid.Tail() && sim.Time() >= tEnd {
+			// The clock already covered the off-grid horizon while
+			// running to the last on-step point; a tail sample here
+			// would duplicate the previous observation.
 			return
 		}
-		observe()
-		if timeOf() < next {
+		RunUntil(sim, t)
+		observe(sim.Time())
+		if sim.Time() < t {
 			// Absorbing state before the sample point: recorded once,
 			// stop.
 			return
 		}
-		last = next
-		next += dt
-	}
-	// Tail sample at tEnd, unless the grid covered it — either exactly
-	// (last == tEnd) or by floating-point drift leaving the clock
-	// already past tEnd, where a second observe would duplicate the
-	// final sample.
-	if last < tEnd && timeOf() < tEnd {
-		if !runTo(tEnd) {
-			return
-		}
-		observe()
 	}
 }

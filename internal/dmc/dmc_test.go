@@ -402,3 +402,16 @@ func BenchmarkFRMEventZGB(b *testing.B) {
 		}
 	}
 }
+
+// A degenerate sampling schedule must panic loudly, not silently
+// produce an empty series (Sample has no error return).
+func TestSamplePanicsOnDegenerateDt(t *testing.T) {
+	cm, cfg, src := zgbSetup(t, 8, 3)
+	r := NewRSM(cm, cfg, src)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for a dt beyond the grid-point cap")
+		}
+	}()
+	Sample(r, 1e-300, 1e3, func(float64) {})
+}

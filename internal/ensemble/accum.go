@@ -1,0 +1,118 @@
+package ensemble
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"parsurf/internal/stats"
+)
+
+// Accumulator merges per-member sample grids (vars × points, e.g.
+// species × time grid) into streaming per-cell mean/variance moments.
+// Members may be Added from any goroutine in any completion order —
+// workers finish when they finish — but the underlying moments commit
+// strictly in member-index order, so the accumulated floats are
+// bit-identical for every worker count. Out-of-order arrivals wait in
+// a reorder buffer bounded by the configured window: an Add running
+// more than `window` members ahead of the commit frontier blocks until
+// the frontier advances, keeping memory O(vars·points·window) — never
+// O(members) — even when one early member runs far longer than its
+// siblings.
+type Accumulator struct {
+	mu      sync.Mutex
+	moments *stats.MomentGrid
+	next    int
+	window  int
+	pending map[int][][]float64
+	// advanced is closed (and replaced) whenever the commit frontier
+	// moves, waking Adds blocked on the window.
+	advanced chan struct{}
+}
+
+// NewAccumulator returns an accumulator over a vars × points grid with
+// the given reorder window (clamped to at least 1; the worker count is
+// the natural choice — more can never block).
+func NewAccumulator(vars, points, window int) *Accumulator {
+	if window < 1 {
+		window = 1
+	}
+	return &Accumulator{
+		moments:  stats.NewMomentGrid(vars, points),
+		window:   window,
+		pending:  make(map[int][][]float64),
+		advanced: make(chan struct{}),
+	}
+}
+
+// Add records member i's samples (vars rows of points values each).
+// Each member index must be added exactly once; values are read but
+// never written, and are released as soon as the member commits. Add
+// blocks while member is at least `window` past the commit frontier;
+// ctx aborts the wait (the frontier member itself never blocks, so a
+// run where every member eventually Adds or errors cannot deadlock).
+func (a *Accumulator) Add(ctx context.Context, member int, values [][]float64) error {
+	a.mu.Lock()
+	for member >= a.next+a.window {
+		ch := a.advanced
+		a.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		a.mu.Lock()
+	}
+	defer a.mu.Unlock()
+	if member < a.next {
+		panic(fmt.Sprintf("ensemble: member %d added twice (already committed)", member))
+	}
+	if _, dup := a.pending[member]; dup {
+		panic(fmt.Sprintf("ensemble: member %d added twice (still pending)", member))
+	}
+	a.pending[member] = values
+	committed := false
+	for {
+		v, ok := a.pending[a.next]
+		if !ok {
+			break
+		}
+		delete(a.pending, a.next)
+		a.moments.AddMember(v)
+		a.next++
+		committed = true
+	}
+	if committed {
+		close(a.advanced)
+		a.advanced = make(chan struct{})
+	}
+	return nil
+}
+
+// Merged returns how many members have committed (the length of the
+// gap-free prefix of added member indices).
+func (a *Accumulator) Merged() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.next
+}
+
+// Pending returns how many members sit in the reorder buffer (always
+// less than the window).
+func (a *Accumulator) Pending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pending)
+}
+
+// MeanStd returns the per-cell mean and sample standard deviation over
+// the committed members. It panics when out-of-order members are still
+// waiting on a gap — callers must only read after every member ran.
+func (a *Accumulator) MeanStd() (mean, std [][]float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.pending) > 0 {
+		panic(fmt.Sprintf("ensemble: MeanStd with %d uncommitted members (gap at index %d)", len(a.pending), a.next))
+	}
+	return a.moments.MeanStd()
+}

@@ -1,0 +1,26 @@
+// Package ensemble orchestrates replicated simulation runs: the shared
+// internal/timegrid sampling grid re-exported as TimeGrid (both the
+// sampling schedule and the merge step derive their points from it, so
+// the two can never disagree on grid size or placement), a worker-pool
+// runner with first-error sibling cancellation, and a streaming moment
+// accumulator that merges members in index order for
+// worker-count-independent results.
+//
+// The package is deliberately engine-agnostic: jobs are opaque
+// functions and samples are plain float64 grids, so the facade owns all
+// session wiring while the concurrency and float discipline live here.
+package ensemble
+
+import "parsurf/internal/timegrid"
+
+// TimeGrid is the shared index-derived sampling grid (see
+// internal/timegrid); the ensemble runner samples replicas and merges
+// moments on the same instance.
+type TimeGrid = timegrid.Grid
+
+// NewTimeGrid returns the grid the ensemble runner uses for the given
+// horizon and sampling interval: points from 0 to `until` spaced
+// `every` apart, tail included.
+func NewTimeGrid(until, every float64) (TimeGrid, error) {
+	return timegrid.New(until, every)
+}

@@ -1,0 +1,106 @@
+package ensemble
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes jobs 0..jobs-1 over a pool of `workers` goroutines and
+// returns the root-cause error of the first failure, cancelling every
+// sibling as soon as one job fails:
+//
+//   - the run context handed to each job is cancelled on the first
+//     recorded failure, so in-flight siblings abort at their next
+//     context check (one engine step for the simulation runners);
+//   - the job queue stops feeding: enqueueing selects on cancellation,
+//     so the producer can never block forever on workers that have
+//     stopped making progress, and already-queued jobs are drained
+//     without running;
+//   - the error returned is the failure itself — the lowest-indexed
+//     non-cancellation error — never a sibling's induced
+//     context.Canceled.
+//
+// A nil return means every job ran and returned nil. Cancellation of
+// the caller's ctx surfaces as ctx.Err() unless a real job failure is
+// the better explanation.
+func Run(ctx context.Context, jobs, workers int, run func(ctx context.Context, job int) error) error {
+	if jobs <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, jobs)
+	var completed atomic.Int64
+	queue := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				if err := runCtx.Err(); err != nil {
+					errs[i] = err // drained after the abort, never ran
+					continue
+				}
+				if err := run(runCtx, i); err != nil {
+					errs[i] = err
+					cancel() // first failure aborts the siblings
+				} else {
+					completed.Add(1)
+				}
+			}
+		}()
+	}
+enqueue:
+	for i := 0; i < jobs; i++ {
+		select {
+		case queue <- i:
+		case <-runCtx.Done():
+			break enqueue
+		}
+	}
+	close(queue)
+	wg.Wait()
+	return rootCause(ctx, int(completed.Load()) == jobs, errs)
+}
+
+// rootCause picks the error Run reports: the lowest-indexed real
+// failure wins; induced cancellations (siblings aborted after the
+// first failure) are only reported when nothing explains them — and
+// then the caller's own ctx error takes precedence, since that is what
+// triggered them. allCompleted distinguishes "every job ran and
+// succeeded" (a cancellation landing after that changes nothing — the
+// result is complete) from "jobs were skipped or aborted" (a
+// pre-cancelled ctx must surface even though no job recorded an
+// error).
+func rootCause(ctx context.Context, allCompleted bool, errs []error) error {
+	var induced error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if induced == nil {
+				induced = err
+			}
+			continue
+		}
+		return err
+	}
+	if allCompleted {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return induced
+}

@@ -5,6 +5,7 @@ import (
 
 	"parsurf/internal/dmc"
 	"parsurf/internal/lattice"
+	"parsurf/internal/timegrid"
 )
 
 // ObserverFunc adapts a plain function to the Observer interface.
@@ -15,12 +16,35 @@ func (f ObserverFunc) Observe(t float64, cfg *lattice.Config) { f(t, cfg) }
 
 // RunContext advances s until its clock reaches tEnd, observing the
 // live configuration at every dt of simulated time (plus a final sample
-// at tEnd exactly when tEnd is not on the grid — the same sampling
-// schedule as dmc.Sample). dt <= 0 disables sampling. The context is
-// checked every engine step, so cancellation latency is one Step call;
-// on cancellation the context error is returned with the progress so
-// far. An absorbing state records one final sample and stops early.
+// at tEnd exactly when tEnd is not on the grid — the same index-derived
+// timegrid.Grid schedule as dmc.Sample). dt <= 0 disables sampling.
+// The context is checked every engine step, so cancellation latency is
+// one Step call; on cancellation the context error is returned with the
+// progress so far. An absorbing state records one final sample and
+// stops early.
 func RunContext(ctx context.Context, s dmc.Simulator, dt, tEnd float64, observers ...Observer) (steps, samples int, err error) {
+	// runTo is RunUntil with a per-step context check; an absorbing
+	// state leaves the clock short of t, which callers detect.
+	runTo := func(t float64) error {
+		for s.Time() < t {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if !s.Step() {
+				return nil
+			}
+			steps++
+		}
+		return nil
+	}
+	if dt <= 0 {
+		err = runTo(tEnd)
+		return steps, samples, err
+	}
+	grid, err := timegrid.From(s.Time(), tEnd, dt)
+	if err != nil {
+		return 0, 0, err
+	}
 	observe := func() {
 		cfg := s.Config()
 		t := s.Time()
@@ -29,36 +53,53 @@ func RunContext(ctx context.Context, s dmc.Simulator, dt, tEnd float64, observer
 		}
 		samples++
 	}
-	// runTo is RunUntil with a per-step context check.
-	runTo := func(t float64) (alive bool, err error) {
+	for k := 0; k < grid.Len(); k++ {
+		t := grid.At(k)
+		if k == grid.Len()-1 && grid.Tail() && s.Time() >= tEnd {
+			// The clock already covered the off-grid horizon; a tail
+			// sample would duplicate the previous observation.
+			return steps, samples, nil
+		}
+		if err = runTo(t); err != nil {
+			return steps, samples, err
+		}
+		observe()
+		if s.Time() < t {
+			// Absorbing state before the sample point: recorded once.
+			return steps, samples, nil
+		}
+	}
+	return steps, samples, nil
+}
+
+// RunGrid advances s through the sampling grid, invoking
+// observe(k, cfg) with the live configuration at every grid index k.
+// This is the ensemble replica runner: observations are keyed by grid
+// index, so what a replica samples is exactly what the merge
+// aggregates — the two can never disagree on grid size or placement.
+// The context is checked before every engine step (cancellation
+// latency: one Step call). When the engine reaches an absorbing state
+// before grid point k, the frozen configuration is observed for k and
+// every remaining point: an absorbed system no longer changes, so
+// those samples are exact values, not interpolations.
+func RunGrid(ctx context.Context, s dmc.Simulator, grid timegrid.Grid, observe func(k int, cfg *lattice.Config)) (steps int, err error) {
+	for k := 0; k < grid.Len(); k++ {
+		t := grid.At(k)
 		for s.Time() < t {
 			if err := ctx.Err(); err != nil {
-				return true, err
+				return steps, err
 			}
 			if !s.Step() {
-				return false, nil
+				for ; k < grid.Len(); k++ {
+					observe(k, s.Config())
+				}
+				return steps, nil
 			}
 			steps++
 		}
-		return true, nil
+		observe(k, s.Config())
 	}
-
-	if dt <= 0 {
-		_, err = runTo(tEnd)
-		return steps, samples, err
-	}
-	// The grid schedule (including the tail-sample rule) is shared with
-	// dmc.Sample; cancellation surfaces through the runTo return plus
-	// the recorded error.
-	dmc.SampleFunc(s.Time,
-		func(t float64) bool {
-			// An absorbed engine is detected by the schedule via the
-			// clock; only cancellation stops the schedule from here.
-			_, err = runTo(t)
-			return err == nil
-		},
-		dt, tEnd, observe)
-	return steps, samples, err
+	return steps, nil
 }
 
 // StepContext advances s by n Step calls (or until an absorbing state),

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"parsurf/internal/lattice"
+	"parsurf/internal/rng"
+	"parsurf/internal/timegrid"
+	"parsurf/internal/ziff"
+)
+
+func mustGrid(t *testing.T, until, every float64) timegrid.Grid {
+	t.Helper()
+	g, err := timegrid.New(until, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// RunGrid observes every grid index exactly once, in order.
+func TestRunGridObservesEveryPoint(t *testing.T) {
+	s, _ := zgbSim(t, 16, 11)
+	grid := mustGrid(t, 1.0, 0.1)
+	var ks []int
+	steps, err := RunGrid(context.Background(), s, grid, func(k int, cfg *lattice.Config) {
+		ks = append(ks, k)
+		if cfg == nil {
+			t.Fatal("nil config observed")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps == 0 {
+		t.Fatal("no steps taken")
+	}
+	if len(ks) != grid.Len() {
+		t.Fatalf("observed %d points, grid has %d", len(ks), grid.Len())
+	}
+	for i, k := range ks {
+		if k != i {
+			t.Fatalf("observation %d has grid index %d", i, k)
+		}
+	}
+	if s.Time() < grid.Until() {
+		t.Fatalf("clock %v short of the horizon %v", s.Time(), grid.Until())
+	}
+}
+
+// A replica frozen in an absorbing state still yields a full grid: the
+// frozen configuration is observed at every remaining point, so the
+// merge never has to interpolate or clamp.
+func TestRunGridFillsAbsorbedTail(t *testing.T) {
+	// Pure CO impingement poisons the lattice almost immediately.
+	z := ziff.New(lattice.NewSquare(8), rng.New(3), 1.0)
+	grid := mustGrid(t, 50, 1)
+	var covs []float64
+	_, err := RunGrid(context.Background(), z, grid, func(k int, cfg *lattice.Config) {
+		covs = append(covs, cfg.Coverage(ziff.CO))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(covs) != grid.Len() {
+		t.Fatalf("observed %d points, want the full grid of %d", len(covs), grid.Len())
+	}
+	if !z.Poisoned() {
+		t.Fatal("lattice never poisoned at y=1")
+	}
+	if last := covs[len(covs)-1]; last != 1.0 {
+		t.Fatalf("final CO coverage %v, want the frozen 1.0", last)
+	}
+	// Once frozen, every later observation must repeat the final value.
+	frozen := false
+	for i := 1; i < len(covs); i++ {
+		if covs[i] == 1.0 {
+			frozen = true
+		}
+		if frozen && covs[i] != 1.0 {
+			t.Fatalf("coverage changed after the absorbing state at point %d", i)
+		}
+	}
+}
+
+// Cancellation aborts within one engine step and surfaces the context
+// error.
+func TestRunGridCancellation(t *testing.T) {
+	s, _ := zgbSim(t, 16, 12)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	steps, err := RunGrid(ctx, s, mustGrid(t, 1e9, 1), func(int, *lattice.Config) {})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunGrid returned %v, want context.Canceled", err)
+	}
+	if steps != 0 {
+		t.Fatalf("%d steps taken after cancellation", steps)
+	}
+}
+
+// RunContext samples on the index-derived grid: dt=0.1 to tEnd=1.0 is
+// exactly 11 samples (the accumulated-sum schedule this replaced could
+// disagree with the merge about that count).
+func TestRunContextGridSampleCount(t *testing.T) {
+	s, _ := zgbSim(t, 16, 13)
+	steps, samples, err := RunContext(context.Background(), s, 0.1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps == 0 {
+		t.Fatal("no steps taken")
+	}
+	if samples != 11 {
+		t.Fatalf("%d samples for dt=0.1, tEnd=1.0, want 11", samples)
+	}
+}
+
+// A degenerate dt that cannot advance the clock's floats is an error,
+// not an infinite loop.
+func TestRunContextDegenerateDt(t *testing.T) {
+	z := ziff.New(lattice.NewSquare(8), rng.New(5), 0.5)
+	for z.Time() < 1e3 {
+		z.Step()
+	}
+	if _, _, err := RunContext(context.Background(), z, 1e-16, 2e3); err == nil {
+		t.Fatal("degenerate dt accepted")
+	}
+}

@@ -239,12 +239,76 @@ func DetectOscillation(s *Series, n int, minStrength float64) (Oscillation, bool
 	}, true
 }
 
+// MomentGrid accumulates online mean/variance per cell of a fixed
+// vars × points sample grid (e.g. species × time grid) — the streaming
+// core of the ensemble merge. Adding a member costs O(vars·points) and
+// total memory stays O(vars·points) no matter how many members stream
+// through; nothing is retained but the Welford moments.
+type MomentGrid struct {
+	vars, points int
+	members      int
+	cells        []Welford
+}
+
+// NewMomentGrid returns an empty moment grid; both dimensions must be
+// positive.
+func NewMomentGrid(vars, points int) *MomentGrid {
+	if vars < 1 || points < 1 {
+		panic(fmt.Sprintf("stats: MomentGrid needs positive dimensions, got %d×%d", vars, points))
+	}
+	return &MomentGrid{vars: vars, points: points, cells: make([]Welford, vars*points)}
+}
+
+// AddMember accumulates one member's samples, a vars-row grid of
+// points values each. It panics on a shape mismatch — a member that
+// sampled a different grid must never merge silently.
+func (g *MomentGrid) AddMember(values [][]float64) {
+	if len(values) != g.vars {
+		panic(fmt.Sprintf("stats: member has %d rows, grid has %d", len(values), g.vars))
+	}
+	for v, row := range values {
+		if len(row) != g.points {
+			panic(fmt.Sprintf("stats: member row %d has %d points, grid has %d", v, len(row), g.points))
+		}
+		cells := g.cells[v*g.points : (v+1)*g.points]
+		for p, x := range row {
+			cells[p].Add(x)
+		}
+	}
+	g.members++
+}
+
+// Members returns the number of members accumulated.
+func (g *MomentGrid) Members() int { return g.members }
+
+// MeanStd returns the per-cell mean and sample standard deviation as
+// vars rows of points values.
+func (g *MomentGrid) MeanStd() (mean, std [][]float64) {
+	mean = make([][]float64, g.vars)
+	std = make([][]float64, g.vars)
+	for v := 0; v < g.vars; v++ {
+		mean[v] = make([]float64, g.points)
+		std[v] = make([]float64, g.points)
+		cells := g.cells[v*g.points : (v+1)*g.points]
+		for p := range cells {
+			mean[v][p] = cells[p].Mean()
+			std[v][p] = cells[p].Std()
+		}
+	}
+	return mean, std
+}
+
 // Aggregate merges replica series into pointwise mean and sample
 // standard deviation series: every input is resampled (with linear
 // interpolation and clamping) onto n evenly spaced times across
 // [lo, hi] and the moments are taken across replicas at each grid
-// point. It is the merge step of the ensemble runner. It panics on an
-// empty input set, n < 2, or an empty member series.
+// point. It panics on an empty input set, n < 2, or an empty member
+// series.
+//
+// The ensemble runner no longer uses it: replicas now sample directly
+// on a shared ensemble.TimeGrid and merge through MomentGrid with no
+// interpolation. Aggregate remains for series whose sample times
+// genuinely differ.
 func Aggregate(series []*Series, lo, hi float64, n int) (mean, std *Series) {
 	if len(series) == 0 {
 		panic("stats: Aggregate of no series")

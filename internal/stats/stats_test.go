@@ -317,3 +317,50 @@ func TestQuickSeriesAtSamples(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// MomentGrid streams members through per-cell Welford moments: the
+// result matches a direct per-cell Welford pass bit for bit, and shape
+// mismatches panic instead of merging silently.
+func TestMomentGrid(t *testing.T) {
+	const vars, points, members = 3, 4, 6
+	g := NewMomentGrid(vars, points)
+	direct := make([]Welford, vars*points)
+	for m := 0; m < members; m++ {
+		values := make([][]float64, vars)
+		for v := range values {
+			values[v] = make([]float64, points)
+			for p := range values[v] {
+				x := math.Sin(float64(m*31+v*7+p)) + float64(m)*0.25
+				values[v][p] = x
+				direct[v*points+p].Add(x)
+			}
+		}
+		g.AddMember(values)
+	}
+	if g.Members() != members {
+		t.Fatalf("Members() = %d, want %d", g.Members(), members)
+	}
+	mean, std := g.MeanStd()
+	for v := 0; v < vars; v++ {
+		for p := 0; p < points; p++ {
+			w := direct[v*points+p]
+			if mean[v][p] != w.Mean() || std[v][p] != w.Std() {
+				t.Fatalf("cell (%d,%d): mean/std %v/%v, want %v/%v",
+					v, p, mean[v][p], std[v][p], w.Mean(), w.Std())
+			}
+		}
+	}
+	for _, bad := range [][][]float64{
+		make([][]float64, vars-1),
+		{make([]float64, points), make([]float64, points-1), make([]float64, points)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("shape mismatch accepted")
+				}
+			}()
+			g.AddMember(bad)
+		}()
+	}
+}

@@ -1,0 +1,125 @@
+package timegrid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimeGridExactSizes(t *testing.T) {
+	cases := []struct {
+		until, every float64
+		n            int
+		tail         bool
+	}{
+		{1.0, 0.1, 11, false}, // the ROADMAP case: 1.0/0.1 must give 11 points
+		{0.3, 0.1, 4, true},   // int(0.3/0.1)+1 == 3 — the truncation the old merge hit
+		{100, 0.1, 1001, false},
+		{1.1, 0.25, 6, true}, // off-grid horizon: tail point at 1.1
+		{1.0, 0.25, 5, false},
+		{0.05, 0.1, 2, true}, // horizon below one step: {0, until}
+		{5, 5, 2, false},     // until == every
+		{5, 10, 2, true},
+	}
+	for _, tc := range cases {
+		g, err := New(tc.until, tc.every)
+		if err != nil {
+			t.Fatalf("New(%v, %v): %v", tc.until, tc.every, err)
+		}
+		if g.Len() != tc.n {
+			t.Errorf("New(%v, %v): %d points, want %d", tc.until, tc.every, g.Len(), tc.n)
+		}
+		if g.Tail() != tc.tail {
+			t.Errorf("New(%v, %v): tail %v, want %v", tc.until, tc.every, g.Tail(), tc.tail)
+		}
+		if last := g.At(g.Len() - 1); last != tc.until {
+			t.Errorf("New(%v, %v): last point %v, want exactly the horizon", tc.until, tc.every, last)
+		}
+		for i := 1; i < g.Len(); i++ {
+			if g.At(i) <= g.At(i-1) {
+				t.Errorf("New(%v, %v): point %d (%v) not after point %d (%v)",
+					tc.until, tc.every, i, g.At(i), i-1, g.At(i-1))
+			}
+		}
+	}
+}
+
+// Grid points are index-derived: the k-th point is exactly k·every as
+// float64 multiplication rounds it, not an accumulated sum (which for
+// 0.1 drifts to 0.7999999999999999 by the eighth step).
+func TestTimeGridIndexDerivedPoints(t *testing.T) {
+	g, err := New(1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.Len()-1; i++ {
+		if want := float64(i) * 0.1; g.At(i) != want {
+			t.Errorf("At(%d) = %v, want %v", i, g.At(i), want)
+		}
+	}
+	if g.At(8) != 0.8 {
+		t.Errorf("At(8) = %v, want exactly 0.8 (accumulation would give 0.7999999999999999)", g.At(8))
+	}
+	if g.At(10) != 1.0 {
+		t.Errorf("At(10) = %v, want exactly 1.0", g.At(10))
+	}
+	times := g.Times()
+	if len(times) != g.Len() {
+		t.Fatalf("Times() has %d points, Len() is %d", len(times), g.Len())
+	}
+	for i, tm := range times {
+		if tm != g.At(i) {
+			t.Errorf("Times()[%d] = %v, At(%d) = %v", i, tm, i, g.At(i))
+		}
+	}
+}
+
+func TestFromOrigin(t *testing.T) {
+	g, err := From(5, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 || g.At(0) != 5 {
+		t.Errorf("origin == until: got %d points, want the single point 5", g.Len())
+	}
+	g, err = From(6, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 0 {
+		t.Errorf("origin past until: got %d points, want 0", g.Len())
+	}
+	g, err = From(2.5, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 4 || g.At(0) != 2.5 || g.At(3) != 4 {
+		t.Errorf("grid from 2.5 to 4 by 0.5: got %d points %v", g.Len(), g.Times())
+	}
+}
+
+func TestTimeGridRejectsDegenerates(t *testing.T) {
+	if _, err := New(0, 0.1); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := New(-1, 0.1); err == nil {
+		t.Error("negative horizon accepted")
+	}
+	if _, err := New(1, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := New(1, -0.1); err == nil {
+		t.Error("negative step accepted")
+	}
+	if _, err := New(1, math.NaN()); err == nil {
+		t.Error("NaN step accepted")
+	}
+	if _, err := New(math.Inf(1), 1); err == nil {
+		t.Error("infinite horizon accepted")
+	}
+	if _, err := From(1e16, 1e16+1, 1e-10); err == nil {
+		t.Error("step below the origin's float resolution accepted")
+	}
+	if _, err := New(1e12, 1e-3); err == nil {
+		t.Error("grid beyond the point cap accepted")
+	}
+}

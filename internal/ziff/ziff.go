@@ -257,7 +257,11 @@ func Measure(l int, y float64, equil, measure int, seed uint64) PhasePoint {
 	return pt
 }
 
-// Sweep measures the phase diagram at each CO fraction in ys.
+// Sweep measures the phase diagram at each CO fraction in ys, one
+// sequential single-replica run per point. It is the minimal reference
+// implementation (and the cross-check its tests pin down); production
+// sweeps run ensembles through parsurf.RunSweep and reduce them with
+// EnsemblePoint.
 func Sweep(l int, ys []float64, equil, measure int, seed uint64) []PhasePoint {
 	out := make([]PhasePoint, len(ys))
 	for i, y := range ys {

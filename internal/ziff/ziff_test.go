@@ -5,6 +5,7 @@ import (
 
 	"parsurf/internal/lattice"
 	"parsurf/internal/rng"
+	"parsurf/internal/stats"
 )
 
 func TestNewValidatesY(t *testing.T) {
@@ -180,5 +181,40 @@ func TestVacancyCountTracksConfig(t *testing.T) {
 	z.ResyncVacancies()
 	if z.VacantCount() != 0 || !z.Poisoned() {
 		t.Fatalf("after Fill+Resync: vacant %d poisoned %v", z.VacantCount(), z.Poisoned())
+	}
+}
+
+// EnsemblePoint windows the mean series at t > equil, averages CO2
+// production across replica ledgers, and applies the majority rule for
+// poisoning.
+func TestEnsemblePoint(t *testing.T) {
+	mean := make([]*stats.Series, 3)
+	for sp := range mean {
+		mean[sp] = &stats.Series{}
+	}
+	// Grid 0..4; equil boundary at 2 leaves the window {3, 4}.
+	for k := 0; k <= 4; k++ {
+		mean[Empty].Append(float64(k), 0.1)
+		mean[CO].Append(float64(k), float64(k)) // window mean (3+4)/2 = 3.5
+		mean[O].Append(float64(k), 0.2)
+	}
+	ledgers := []ReplicaLedger{
+		{CO2Equil: 10, CO2End: 30, Poisoned: true}, // 20 produced
+		{CO2Equil: 0, CO2End: 10, Poisoned: false}, // 10 produced
+	}
+	const sites, equil, measure = 100.0, 2, 2
+	pt := EnsemblePoint(0.5, mean, equil, measure, sites, ledgers)
+	if pt.Y != 0.5 {
+		t.Errorf("Y = %v", pt.Y)
+	}
+	if pt.CoCO != 3.5 || pt.CoEmpty != 0.1 || pt.CoO != 0.2 {
+		t.Errorf("window coverages %v/%v/%v, want 3.5/0.1/0.2", pt.CoCO, pt.CoEmpty, pt.CoO)
+	}
+	// (20+10)/2 replicas / 2 MCS / 100 sites.
+	if want := 15.0 / 2 / 100; pt.Rate != want {
+		t.Errorf("Rate = %v, want %v", pt.Rate, want)
+	}
+	if !pt.Poisoned {
+		t.Error("1 of 2 replicas poisoned must count as poisoned (majority rule ties up)")
 	}
 }

@@ -36,10 +36,13 @@
 //	stats, err := sess.Run(ctx, parsurf.Until(200), parsurf.SampleEvery(0.25, obs))
 //
 // RunEnsemble executes independent replicas of a SessionSpec on split
-// RNG streams across goroutines and merges their series — the workhorse
-// for phase-diagram and criteria sweeps. The direct constructors
-// (NewRSM, NewLPNDCA, …) remain for fine-grained control; a Session
-// with the same seed reproduces their trajectories bit for bit.
+// RNG streams across goroutines, sampling every replica on a shared
+// TimeGrid and streaming them through a per-grid-point moment merge;
+// RunSweep runs one such ensemble per spec variant over a single
+// worker pool — the workhorses for phase-diagram and criteria sweeps.
+// The direct constructors (NewRSM, NewLPNDCA, …) remain for
+// fine-grained control; a Session with the same seed reproduces their
+// trajectories bit for bit.
 //
 // The façade in this package re-exports the pieces needed for everyday
 // use; the sub-packages under internal/ carry the implementations and

@@ -263,6 +263,26 @@ func (sp *SessionSpec) Session() (*Session, error) {
 	return sp.build(rng.New(sp.seed))
 }
 
+// NumSpecies returns the number of species of the spec's model, or the
+// three ZGB species for the model-free ziff engine — known without
+// building a session, which is what lets the ensemble runner size its
+// streaming accumulators up front.
+func (sp *SessionSpec) NumSpecies() int {
+	if sp.model != nil {
+		return sp.model.NumSpecies()
+	}
+	return 3 // ziff: vacant, CO, O
+}
+
+// SpeciesNames returns the species labels of the spec's model (the ZGB
+// labels for the model-free ziff engine).
+func (sp *SessionSpec) SpeciesNames() []string {
+	if sp.model != nil {
+		return sp.model.Species
+	}
+	return zgbSpeciesNames
+}
+
 // build wires lattice → compile → configuration → init → engine around
 // the given engine stream.
 func (sp *SessionSpec) build(src *RNG) (*Session, error) {
@@ -335,12 +355,7 @@ func (s *Session) Compiled() *Compiled { return s.cm }
 
 // NumSpecies returns the number of species of the session's model, or
 // the three ZGB species for the model-free ziff engine.
-func (s *Session) NumSpecies() int {
-	if s.spec.model != nil {
-		return s.spec.model.NumSpecies()
-	}
-	return 3 // ziff: vacant, CO, O
-}
+func (s *Session) NumSpecies() int { return s.spec.NumSpecies() }
 
 // runSpec collects Run options.
 type runSpec struct {
@@ -372,7 +387,10 @@ func ForSteps(n int) RunOption {
 }
 
 // SampleEvery observes the live configuration every dt of simulated
-// time (only meaningful with Until). A final sample is taken at the end
+// time (only meaningful with Until). The sample schedule is an
+// index-derived TimeGrid (the same grid arithmetic the ensemble merge
+// uses), so the k-th sample targets exactly k·dt — never an
+// accumulated, drifting sum — and a final sample is taken at the end
 // time exactly when it is not on the dt grid.
 func SampleEvery(dt float64, obs ...Observer) RunOption {
 	return func(r *runSpec) {
@@ -422,9 +440,4 @@ var zgbSpeciesNames = []string{"*", "CO", "O"}
 
 // SpeciesNames returns the species labels of the session's model (the
 // ZGB labels for the model-free ziff engine).
-func (s *Session) SpeciesNames() []string {
-	if s.spec.model != nil {
-		return s.spec.model.Species
-	}
-	return zgbSpeciesNames
-}
+func (s *Session) SpeciesNames() []string { return s.spec.SpeciesNames() }
