@@ -1,0 +1,80 @@
+// Command surfd serves simulation jobs over HTTP: POST a serialized
+// session spec (the same JSON `surfsim -spec` runs), poll its status,
+// fetch the merged coverage series as JSON or CSV, cancel it. The
+// library is the executor; any client that can speak JSON can drive
+// the paper's whole comparison matrix without writing Go.
+//
+//	surfd -addr :8080 -runners 2
+//
+//	curl -s localhost:8080/jobs -d '{
+//	  "spec": {
+//	    "lattice": {"l0": 64, "l1": 64},
+//	    "engine":  {"name": "ziff", "y": 0.52},
+//	    "seed":    42
+//	  },
+//	  "replicas": 8, "workers": 4, "until": 50, "every": 0.5
+//	}'
+//	curl -s localhost:8080/jobs/job-1
+//	curl -s localhost:8080/jobs/job-1/result?format=csv
+//	curl -s -X POST localhost:8080/jobs/job-1/cancel
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"parsurf/internal/job"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		runners = flag.Int("runners", 2, "concurrent jobs (each fans replicas over its own workers)")
+		backlog = flag.Int("backlog", job.DefaultBacklog, "queued-job capacity")
+	)
+	flag.Parse()
+	if err := serve(*addr, *runners, *backlog); err != nil {
+		fmt.Fprintln(os.Stderr, "surfd:", err)
+		os.Exit(1)
+	}
+}
+
+func serve(addr string, runners, backlog int) error {
+	if runners < 1 {
+		runners = max(1, runtime.NumCPU()/2)
+	}
+	mgr := job.NewManager(runners, backlog)
+	srv := &http.Server{Addr: addr, Handler: job.NewServer(mgr)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "surfd: listening on %s (%d runners)\n", addr, runners)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		mgr.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "surfd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	mgr.Close() // cancels running jobs; replicas abort within one step
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

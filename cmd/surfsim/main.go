@@ -1,9 +1,9 @@
 // Command surfsim is a general-purpose surface-reaction simulator: pick
-// a model, an engine, a lattice size and a time span; it prints the
-// coverage time series as CSV (stdout) and an optional terminal plot.
-// Engines are resolved through the parsurf registry, so every
-// registered engine is available by name — run with -method help for
-// the list.
+// a model, an engine, a lattice size and a time span — or hand it a
+// serialized session spec with -spec — and it prints the coverage time
+// series as CSV (stdout) and an optional terminal plot. Engines are
+// resolved through the parsurf registry, so every registered engine is
+// available by name — run with -method help for the list.
 //
 // Examples:
 //
@@ -13,19 +13,38 @@
 //	surfsim -model zgb -method ddrsm -workers 4 -size 80 -t 30
 //	surfsim -method ziff -y 0.52 -size 128 -t 200
 //	surfsim -model zgb -method pndca -workers 4 -replicas 16 -par 4 -t 50
+//	surfsim -spec myrun.json -t 50
+//
+// A spec file is the JSON form of a parsurf.SessionSpec (see the
+// "Spec files & surfd" section of the README); for a fixed seed,
+// running a spec file is byte-identical to the equivalent flag
+// invocation. The run-shaping flags (-t, -dt, -replicas, -par, -plot,
+// -svg) still apply with -spec; the spec-owned flags (-model, -method,
+// -size, -seed, …) conflict with it and are rejected.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"slices"
+	"sort"
+	"strings"
 
 	"parsurf"
 	"parsurf/internal/modelfile"
 	"parsurf/internal/stats"
 	"parsurf/internal/trace"
 )
+
+// specOwnedFlags are the flags that describe the session itself; a spec
+// file is the single source of truth for those, so combining them with
+// -spec is rejected rather than silently preferring one side.
+var specOwnedFlags = []string{
+	"model", "modelfile", "method", "size", "seed", "L", "strategy", "workers", "block", "y",
+}
 
 func main() {
 	var (
@@ -41,6 +60,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "PNDCA/typepart sweep goroutines / DDRSM strips")
 		block     = flag.Int("block", 4, "BCA block side")
 		y         = flag.Float64("y", 0.5, "ziff: CO impingement fraction")
+		specPath  = flag.String("spec", "", "run a serialized session spec (JSON) instead of the model/engine flags")
 		replicas  = flag.Int("replicas", 1, "ensemble replicas (>1 prints the ensemble mean series)")
 		par       = flag.Int("par", 4, "ensemble worker goroutines")
 		plot      = flag.Bool("plot", false, "print an ASCII plot to stderr")
@@ -49,25 +69,86 @@ func main() {
 	flag.Parse()
 
 	if *method == "help" {
-		fmt.Fprintln(os.Stderr, "registered engines:")
-		for _, spec := range parsurf.EngineSpecs() {
-			fmt.Fprintf(os.Stderr, "  %-9s %s\n", spec.Name, spec.Doc)
-		}
+		printHelp(os.Stderr)
 		os.Exit(2)
 	}
-	if err := run(*modelName, *modelFile, *method, *size, *tEnd, *dt, *seed, *l, *strategy,
-		*workers, *block, *y, *replicas, *par, *plot, *svgPath); err != nil {
+
+	var spec *parsurf.SessionSpec
+	var title string
+	var err error
+	if *specPath != "" {
+		if conflict := specFlagConflict(); conflict != "" {
+			fmt.Fprintf(os.Stderr, "surfsim: -spec conflicts with -%s (the spec file owns it; drop the flag or edit the spec)\n", conflict)
+			os.Exit(1)
+		}
+		spec, err = loadSpec(*specPath)
+		title = *specPath
+	} else {
+		spec, title, err = specFromFlags(*modelName, *modelFile, *method, *size, *seed,
+			*l, *strategy, *workers, *block, *y)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "surfsim:", err)
+		os.Exit(1)
+	}
+	if err := run(spec, title, *tEnd, *dt, *replicas, *par, *plot, *svgPath, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "surfsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelName, modelFile, method string, size int, tEnd, dt float64, seed uint64,
-	l int, strategy string, workers, block int, y float64, replicas, par int,
-	plot bool, svgPath string) error {
+// printHelp lists every name a flag or spec file can reference.
+func printHelp(w io.Writer) {
+	fmt.Fprintln(w, "registered engines:")
+	for _, spec := range parsurf.EngineSpecs() {
+		fmt.Fprintf(w, "  %-9s %s\n", spec.Name, spec.Doc)
+	}
+	fmt.Fprintf(w, "partition builders (spec files): %s\n", strings.Join(parsurf.PartitionBuilders(), ", "))
+	fmt.Fprintf(w, "type-split builders (spec files): %s\n", strings.Join(parsurf.TypeSplitBuilders(), ", "))
+	fmt.Fprintf(w, "init presets (spec files): %s\n", strings.Join(parsurf.InitPresets(), ", "))
+	fmt.Fprintf(w, "model presets: %s\n", strings.Join(parsurf.ModelPresets(), ", "))
+}
+
+// specFlagConflict returns the first explicitly-set flag that a spec
+// file owns, or "".
+func specFlagConflict() string {
+	owned := make(map[string]bool, len(specOwnedFlags))
+	for _, name := range specOwnedFlags {
+		owned[name] = true
+	}
+	var set []string
+	flag.Visit(func(f *flag.Flag) {
+		if owned[f.Name] {
+			set = append(set, f.Name)
+		}
+	})
+	sort.Strings(set)
+	if len(set) == 0 {
+		return ""
+	}
+	return set[0]
+}
+
+// loadSpec reads and validates a serialized session spec.
+func loadSpec(path string) (*parsurf.SessionSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := parsurf.ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// specFromFlags builds the session spec the flag set describes; the
+// returned title labels plots.
+func specFromFlags(modelName, modelFile, method string, size int, seed uint64,
+	l int, strategy string, workers, block int, y float64) (*parsurf.SessionSpec, string, error) {
 	engSpec, ok := parsurf.LookupEngine(method)
 	if !ok {
-		return fmt.Errorf("unknown engine %q (registered: %v)", method, parsurf.Engines())
+		return nil, "", fmt.Errorf("unknown engine %q (registered: %v)", method, parsurf.Engines())
 	}
 
 	// Forward each flag to every engine that accepts it; the registry
@@ -96,51 +177,47 @@ func run(modelName, modelFile, method string, size int, tEnd, dt float64, seed u
 	}
 	// The model flags are validated even when the engine is model-free,
 	// so a typo'd -model/-modelfile never yields a plausible-looking run.
-	var m *parsurf.Model
+	title := modelName
 	switch {
 	case modelFile != "":
 		f, err := os.Open(modelFile)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		defer f.Close()
-		m, err = modelfile.Parse(f)
+		m, err := modelfile.Parse(f)
+		f.Close()
 		if err != nil {
-			return fmt.Errorf("%s: %w", modelFile, err)
+			return nil, "", fmt.Errorf("%s: %w", modelFile, err)
 		}
-	case modelName == "zgb":
-		m = parsurf.NewZGBModel(parsurf.DefaultZGBRates())
-	case modelName == "ptco":
-		m = parsurf.NewPtCOModel(parsurf.DefaultPtCORates())
-	case modelName == "diffusion":
-		m = parsurf.NewDiffusionModel(1)
-	case modelName == "ising":
-		m = parsurf.NewIsingModel(0.4)
+		title = modelFile
+		if !engSpec.ModelFree {
+			sessOpts = append(sessOpts, parsurf.WithModel(m))
+		}
+	case slices.Contains(parsurf.ModelPresets(), modelName):
+		if !engSpec.ModelFree {
+			sessOpts = append(sessOpts, parsurf.WithModelPreset(modelName, nil))
+		}
 	default:
-		return fmt.Errorf("unknown model %q", modelName)
+		return nil, "", fmt.Errorf("unknown model %q (presets: %v)", modelName, parsurf.ModelPresets())
 	}
-	if !engSpec.ModelFree {
-		sessOpts = append(sessOpts, parsurf.WithModel(m))
-		if modelName == "diffusion" || modelName == "ising" {
-			// Single runs keep the historical fixed init stream for
-			// bit-identical output; ensemble replicas use the split
-			// per-replica stream so their initial surfaces differ.
-			useReplicaStream := replicas > 1
-			sessOpts = append(sessOpts, parsurf.WithInit(func(cfg *parsurf.Config, src *parsurf.RNG) {
-				if useReplicaStream {
-					cfg.Randomize([]float64{0.5, 0.5}, src.Float64)
-				} else {
-					cfg.Randomize([]float64{0.5, 0.5}, parsurf.NewRNG(seed^0xabcd).Float64)
-				}
-			}))
-		}
+	if !engSpec.ModelFree && (modelName == "diffusion" || modelName == "ising") && modelFile == "" {
+		// These models are trivial from the all-vacant surface; seed a
+		// half-filled one. The preset draws from the session's init
+		// stream, so -spec files naming the same preset reproduce the
+		// run byte for byte, and ensemble replicas (which run on split
+		// streams) get distinct initial surfaces.
+		sessOpts = append(sessOpts, parsurf.WithInit(parsurf.RandomInit(0.5, 0.5)))
 	}
 
 	spec, err := parsurf.NewSpec(sessOpts...)
 	if err != nil {
-		return err
+		return nil, "", err
 	}
+	return spec, fmt.Sprintf("%s / %s", title, method), nil
+}
 
+func run(spec *parsurf.SessionSpec, title string, tEnd, dt float64, replicas, par int,
+	plot bool, svgPath string, stdout, stderr io.Writer) error {
 	var names []string
 	var series []*stats.Series
 	if replicas > 1 {
@@ -177,11 +254,11 @@ func run(modelName, modelFile, method string, size int, tEnd, dt float64, seed u
 	}
 
 	header := append([]string{"t"}, names...)
-	if err := trace.WriteCSV(os.Stdout, header, series...); err != nil {
+	if err := trace.WriteCSV(stdout, header, series...); err != nil {
 		return err
 	}
 	if plot {
-		fmt.Fprintf(os.Stderr, "coverages (%v):\n%s", names,
+		fmt.Fprintf(stderr, "coverages (%v):\n%s", names,
 			trace.ASCIIPlot(14, 72, "ox.+*#", series...))
 	}
 	if svgPath != "" {
@@ -190,8 +267,9 @@ func run(modelName, modelFile, method string, size int, tEnd, dt float64, seed u
 			return err
 		}
 		defer f.Close()
+		l0, l1 := spec.Extents()
 		opt := trace.SVGOptions{
-			Title:  fmt.Sprintf("%s / %s, %dx%d", modelTitle(modelName, modelFile), method, size, size),
+			Title:  fmt.Sprintf("%s, %dx%d", title, l0, l1),
 			Labels: names,
 		}
 		if err := trace.WriteSVG(f, opt, series...); err != nil {
@@ -199,11 +277,4 @@ func run(modelName, modelFile, method string, size int, tEnd, dt float64, seed u
 		}
 	}
 	return nil
-}
-
-func modelTitle(name, file string) string {
-	if file != "" {
-		return file
-	}
-	return name
 }

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parsurf"
+)
+
+type specResult struct {
+	spec  *parsurf.SessionSpec
+	title string
+}
+
+// The -spec acceptance criterion: for a fixed seed, running a
+// hand-written spec file is byte-identical to the equivalent flag
+// invocation — both single sessions and ensembles, including the
+// init-preset path of the diffusion/ising models.
+func TestSpecFileMatchesFlagInvocation(t *testing.T) {
+	cases := []struct {
+		name          string
+		flags         func() (specResult, error)
+		specJSON      string
+		replicas, par int
+	}{
+		{
+			name: "zgb lpndca",
+			flags: func() (specResult, error) {
+				sp, title, err := specFromFlags("zgb", "", "lpndca", 40, 9, 10, "rates", 1, 4, 0.5)
+				return specResult{sp, title}, err
+			},
+			specJSON: `{
+			  "model":   {"name": "zgb"},
+			  "lattice": {"l0": 40, "l1": 40},
+			  "engine":  {"name": "lpndca", "L": 10, "strategy": "rates"},
+			  "seed":    9
+			}`,
+			replicas: 1, par: 1,
+		},
+		{
+			name: "diffusion rsm with init preset",
+			flags: func() (specResult, error) {
+				sp, title, err := specFromFlags("diffusion", "", "rsm", 30, 4, 1, "random", 1, 4, 0.5)
+				return specResult{sp, title}, err
+			},
+			specJSON: `{
+			  "model":   {"name": "diffusion"},
+			  "lattice": {"l0": 30, "l1": 30},
+			  "engine":  {"name": "rsm"},
+			  "seed":    4,
+			  "init":    {"preset": "random", "fractions": [0.5, 0.5]}
+			}`,
+			replicas: 1, par: 1,
+		},
+		{
+			name: "ziff ensemble",
+			flags: func() (specResult, error) {
+				sp, title, err := specFromFlags("zgb", "", "ziff", 32, 11, 1, "random", 1, 4, 0.52)
+				return specResult{sp, title}, err
+			},
+			specJSON: `{
+			  "lattice": {"l0": 32, "l1": 32},
+			  "engine":  {"name": "ziff", "y": 0.52},
+			  "seed":    11
+			}`,
+			replicas: 4, par: 2,
+		},
+	}
+	for _, tc := range cases {
+		fromFlags, err := tc.flags()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		path := filepath.Join(t.TempDir(), "spec.json")
+		if err := os.WriteFile(path, []byte(tc.specJSON), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fromFile, err := loadSpec(path)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+
+		const tEnd, dt = 5, 0.5
+		var flagOut, fileOut, discard bytes.Buffer
+		if err := run(fromFlags.spec, fromFlags.title, tEnd, dt, tc.replicas, tc.par, false, "", &flagOut, &discard); err != nil {
+			t.Fatalf("%s flags run: %v", tc.name, err)
+		}
+		if err := run(fromFile, path, tEnd, dt, tc.replicas, tc.par, false, "", &fileOut, &discard); err != nil {
+			t.Fatalf("%s spec run: %v", tc.name, err)
+		}
+		if flagOut.Len() == 0 {
+			t.Fatalf("%s: empty output", tc.name)
+		}
+		if !bytes.Equal(flagOut.Bytes(), fileOut.Bytes()) {
+			t.Errorf("%s: -spec output differs from the flag invocation\nflags:\n%s\nspec:\n%s",
+				tc.name, flagOut.String(), fileOut.String())
+		}
+	}
+}

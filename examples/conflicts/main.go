@@ -26,15 +26,12 @@ func main() {
 	fmt.Println("synchronous NDCA on diffusing particles (Fig. 2 scenario):")
 	rows := [][]string{}
 	for _, density := range []float64{0.1, 0.3, 0.5, 0.7} {
-		density := density
 		sess, err := parsurf.NewSession(
 			parsurf.WithModel(m),
 			parsurf.WithLattice(64, 64),
 			parsurf.WithEngine("syncndca"),
 			parsurf.WithSeed(8),
-			parsurf.WithInit(func(cfg *parsurf.Config, _ *parsurf.RNG) {
-				cfg.Randomize([]float64{1 - density, density}, parsurf.NewRNG(7).Float64)
-			}),
+			parsurf.WithInit(parsurf.RandomInit(1-density, density)),
 		)
 		if err != nil {
 			panic(err)
@@ -57,21 +54,18 @@ func main() {
 		[]string{"density", "proposals", "conflicts", "conflict rate", "conserved"}, rows))
 
 	// The same workload under PNDCA: zero conflicts by construction.
-	// The partition comes from the modular-colouring search, built from
-	// the session's model and lattice at construction time.
+	// The partition comes from the named modular-colouring builder,
+	// resolved against the session's model and lattice — the same name
+	// a serialized spec would carry.
 	sess, err := parsurf.NewSession(
 		parsurf.WithModel(m),
 		parsurf.WithLattice(64, 64),
 		parsurf.WithEngine("pndca",
-			parsurf.PartitionWith(func(m *parsurf.Model, lat *parsurf.Lattice) (*parsurf.Partition, error) {
-				return parsurf.ModularColoring(m, lat, 16)
-			}),
+			parsurf.PartitionNamed("modular:16"),
 			parsurf.Workers(4),
 		),
 		parsurf.WithSeed(8),
-		parsurf.WithInit(func(cfg *parsurf.Config, _ *parsurf.RNG) {
-			cfg.Randomize([]float64{0.5, 0.5}, parsurf.NewRNG(7).Float64)
-		}),
+		parsurf.WithInit(parsurf.RandomInit(0.5, 0.5)),
 	)
 	if err != nil {
 		panic(err)

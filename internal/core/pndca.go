@@ -65,6 +65,7 @@ type PNDCA struct {
 	steps     uint64
 	successes uint64
 	perm      []int
+	dtbuf     []float64 // per-site clock increments of one chunk sweep
 }
 
 // NewPNDCA builds the engine. The partition must satisfy the all-types
@@ -138,25 +139,32 @@ func (p *PNDCA) Step() bool {
 }
 
 // sweepChunk trials every site of the chunk once, possibly on parallel
-// goroutines. Every site draws from its own derived random stream, so
-// the outcome is independent of the worker count and of goroutine
-// scheduling.
+// goroutines. Every site draws from its own derived random stream and
+// records its clock increment into a per-site slot; the increments are
+// then summed in chunk order regardless of how the sites were
+// segmented across workers. Configurations AND the clock are therefore
+// bit-identical for every worker count — the same float additions run
+// in the same order as the sequential sweep.
 func (p *PNDCA) sweepChunk(chunk []int32) {
 	p.sweep++
 	base := p.src.Split(p.sweep)
 	nk := float64(p.cm.Lat.N()) * p.cm.K
+	if cap(p.dtbuf) < len(chunk) {
+		p.dtbuf = make([]float64, len(chunk))
+	}
+	dts := p.dtbuf[:len(chunk)]
 
-	visit := func(lo, hi int) (succ uint64, dt float64) {
-		for _, s := range chunk[lo:hi] {
+	visit := func(lo, hi int) (succ uint64) {
+		for i, s := range chunk[lo:hi] {
 			st := base.Split(uint64(s))
 			rt := p.cm.PickType(st.Float64())
 			if p.cm.TryExecute(p.cells, rt, int(s)) {
 				succ++
 			}
 			if p.DeterministicTime {
-				dt += 1 / nk
+				dts[lo+i] = 1 / nk
 			} else {
-				dt += st.Exp(nk)
+				dts[lo+i] = st.Exp(nk)
 			}
 		}
 		return
@@ -170,32 +178,31 @@ func (p *PNDCA) sweepChunk(chunk []int32) {
 		workers = len(chunk)
 	}
 	if workers == 1 {
-		succ, dt := visit(0, len(chunk))
-		p.successes += succ
-		p.time += dt
-		return
+		p.successes += visit(0, len(chunk))
+	} else {
+		// Fixed segmentation: worker w handles [w·len/W, (w+1)·len/W).
+		succs := make([]uint64, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * len(chunk) / workers
+			hi := (w + 1) * len(chunk) / workers
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				succs[w] = visit(lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, succ := range succs {
+			p.successes += succ
+		}
 	}
-
-	// Fixed segmentation: worker w handles [w·len/W, (w+1)·len/W).
-	// Subtotals are combined in segment order so the floating-point
-	// sum is deterministic for a given worker count.
-	succs := make([]uint64, workers)
-	dts := make([]float64, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * len(chunk) / workers
-		hi := (w + 1) * len(chunk) / workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			succs[w], dts[w] = visit(lo, hi)
-		}(w, lo, hi)
+	// One chunk-ordered reduction for every worker count.
+	var dt float64
+	for _, d := range dts {
+		dt += d
 	}
-	wg.Wait()
-	for w := 0; w < workers; w++ {
-		p.successes += succs[w]
-		p.time += dts[w]
-	}
+	p.time += dt
 }
 
 // Time returns the simulated time.

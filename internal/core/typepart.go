@@ -52,6 +52,7 @@ type TypePartitioned struct {
 	steps     uint64
 	visits    uint64
 	successes uint64
+	dtbuf     []float64 // per-site clock increments of one sweep
 }
 
 // NewTypePartitioned builds the engine from a verified type split (call
@@ -115,8 +116,17 @@ func (e *TypePartitioned) sweepType(rt int, chunk []int32) {
 	// calibrated: visits per unit time scale by 1/accept.
 	nk := float64(e.cm.Lat.N()) * e.cm.K / accept
 
-	visit := func(lo, hi int) (succ uint64, dt float64) {
-		for _, s := range chunk[lo:hi] {
+	// Per-site clock increments are recorded into slots and summed in
+	// chunk order afterwards, so the clock (not just the configuration)
+	// is bit-identical for every worker count — the same fix pndca and
+	// ddrsm received.
+	if cap(e.dtbuf) < len(chunk) {
+		e.dtbuf = make([]float64, len(chunk))
+	}
+	dts := e.dtbuf[:len(chunk)]
+
+	visit := func(lo, hi int) (succ uint64) {
+		for i, s := range chunk[lo:hi] {
 			st := base.Split(uint64(s))
 			if accept >= 1 || st.Float64() < accept {
 				if e.cm.TryExecute(e.cells, rt, int(s)) {
@@ -124,9 +134,9 @@ func (e *TypePartitioned) sweepType(rt int, chunk []int32) {
 				}
 			}
 			if e.DeterministicTime {
-				dt += 1 / nk
+				dts[lo+i] = 1 / nk
 			} else {
-				dt += st.Exp(nk)
+				dts[lo+i] = st.Exp(nk)
 			}
 		}
 		return
@@ -140,29 +150,29 @@ func (e *TypePartitioned) sweepType(rt int, chunk []int32) {
 		workers = len(chunk)
 	}
 	if workers == 1 {
-		succ, dt := visit(0, len(chunk))
-		e.successes += succ
-		e.time += dt
-		e.visits += uint64(len(chunk))
-		return
+		e.successes += visit(0, len(chunk))
+	} else {
+		succs := make([]uint64, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * len(chunk) / workers
+			hi := (w + 1) * len(chunk) / workers
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				succs[w] = visit(lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, succ := range succs {
+			e.successes += succ
+		}
 	}
-	succs := make([]uint64, workers)
-	dts := make([]float64, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * len(chunk) / workers
-		hi := (w + 1) * len(chunk) / workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			succs[w], dts[w] = visit(lo, hi)
-		}(w, lo, hi)
+	var dt float64
+	for _, d := range dts {
+		dt += d
 	}
-	wg.Wait()
-	for w := 0; w < workers; w++ {
-		e.successes += succs[w]
-		e.time += dts[w]
-	}
+	e.time += dt
 	e.visits += uint64(len(chunk))
 }
 

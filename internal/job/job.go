@@ -1,0 +1,407 @@
+// Package job is the service layer over the declarative session spec:
+// a manager that accepts specs as plain data, runs them — single
+// sessions, ensembles, or whole parameter sweeps — on a bounded pool
+// of job runners, tracks per-job progress (engine steps, simulated
+// time, grid points merged), supports cancellation, and exposes
+// results as the library's Series/moment types. cmd/surfd wraps it in
+// an HTTP server; the manager itself is transport-agnostic and safe
+// for concurrent use.
+//
+// Every run goes through parsurf.RunSweep, so a job inherits the
+// ensemble machinery wholesale: replicas on split RNG streams merged
+// bit-identically for any worker count, and first-error/cancel
+// semantics — cancelling a job cancels its context, which aborts every
+// replica within one engine step.
+package job
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"parsurf"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	// StateQueued marks a job accepted but not yet picked up by a
+	// runner.
+	StateQueued State = "queued"
+	// StateRunning marks a job whose replicas are executing.
+	StateRunning State = "running"
+	// StateDone marks a successfully completed job; its result is
+	// available.
+	StateDone State = "done"
+	// StateFailed marks a job that returned an error.
+	StateFailed State = "failed"
+	// StateCancelled marks a job stopped by Cancel (or manager
+	// shutdown) before completing.
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Request describes one job: which specs to run and how to sample
+// them. One spec is a single session or ensemble; several specs form a
+// sweep (one ensemble per variant over a shared worker pool).
+type Request struct {
+	// Specs are the session specs to run; at least one.
+	Specs []*parsurf.SessionSpec
+	// Replicas per variant (default 1: a single session per spec).
+	Replicas int
+	// Workers is the goroutine count of the job's replica pool
+	// (default 1).
+	Workers int
+	// Until is the simulated-time horizon (required, > 0).
+	Until float64
+	// Every is the sampling interval (required, > 0).
+	Every float64
+}
+
+// Progress is a point-in-time snapshot of a running job's advancement,
+// assembled from per-replica counters the replica goroutines publish
+// at every grid point.
+type Progress struct {
+	// Replicas is the total replica count across variants.
+	Replicas int `json:"replicas"`
+	// Steps is the total engine Step calls across replicas (as of each
+	// replica's latest grid point).
+	Steps uint64 `json:"steps"`
+	// SimTime is the ensemble frontier: the minimum simulated time any
+	// replica has reached. Every replica is at least this far.
+	SimTime float64 `json:"simTime"`
+	// GridPointsMerged counts (replica, grid point) samples taken, out
+	// of TotalGridPoints.
+	GridPointsMerged int64 `json:"gridPointsMerged"`
+	// TotalGridPoints is Replicas × grid length.
+	TotalGridPoints int64 `json:"totalGridPoints"`
+}
+
+// Status is a snapshot of a job's state, progress and (terminal) error.
+type Status struct {
+	ID       string   `json:"id"`
+	State    State    `json:"state"`
+	Error    string   `json:"error,omitempty"`
+	Progress Progress `json:"progress"`
+}
+
+// Job is one submitted workload. All methods are safe for concurrent
+// use.
+type Job struct {
+	id  string
+	req Request
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	gridLen int
+
+	// Per-replica counters, each written only by its replica's
+	// goroutine at grid points; snapshots read them atomically.
+	slotSteps []atomic.Uint64
+	slotTime  []atomic.Uint64 // Float64bits; zero = not yet observed
+	merged    atomic.Int64
+
+	mu     sync.Mutex
+	state  State
+	err    error
+	result []*parsurf.Ensemble
+
+	done chan struct{}
+}
+
+// ID returns the manager-assigned job id.
+func (j *Job) ID() string { return j.id }
+
+// Request returns the job's request (shared specs; treat as
+// read-only).
+func (j *Job) Request() Request { return j.req }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel stops the job: queued jobs never start, running jobs abort
+// every replica within one engine step (the ensemble first-error/
+// cancel machinery). The job is marked cancelled immediately; its
+// runner is freed as soon as the replicas notice the cancelled
+// context. Safe to call repeatedly and after completion.
+func (j *Job) Cancel() {
+	j.cancel()
+	j.setState(StateCancelled, context.Canceled, nil)
+}
+
+// Status returns a snapshot of the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	state, err := j.state, j.err
+	j.mu.Unlock()
+	st := Status{ID: j.id, State: state, Progress: j.progress()}
+	if err != nil {
+		st.Error = err.Error()
+	}
+	return st
+}
+
+// Result returns the per-variant ensembles of a completed job. It
+// errors until the job is done (poll Status or wait on Done first).
+func (j *Job) Result() ([]*parsurf.Ensemble, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone:
+		return j.result, nil
+	case StateFailed:
+		return nil, j.err
+	case StateCancelled:
+		return nil, fmt.Errorf("job: %s was cancelled", j.id)
+	default:
+		return nil, fmt.Errorf("job: %s is %s; no result yet", j.id, j.state)
+	}
+}
+
+// progress assembles the counter snapshot.
+func (j *Job) progress() Progress {
+	p := Progress{
+		Replicas:         len(j.slotSteps),
+		TotalGridPoints:  int64(len(j.slotSteps)) * int64(j.gridLen),
+		GridPointsMerged: j.merged.Load(),
+	}
+	frontier := math.Inf(1)
+	for i := range j.slotSteps {
+		p.Steps += j.slotSteps[i].Load()
+		t := math.Float64frombits(j.slotTime[i].Load())
+		if t < frontier {
+			frontier = t
+		}
+	}
+	if math.IsInf(frontier, 1) {
+		frontier = 0
+	}
+	p.SimTime = frontier
+	return p
+}
+
+// observe is the per-replica grid-point hook: it publishes the
+// replica's engine counters. Each (variant, replica) slot is written
+// only from that replica's goroutine.
+func (j *Job) observe(variant, replica int, t float64, sess *parsurf.Session) {
+	slot := variant*j.req.Replicas + replica
+	eng := sess.Engine()
+	j.slotSteps[slot].Store(eng.Steps())
+	j.slotTime[slot].Store(math.Float64bits(eng.Time()))
+	j.merged.Add(1)
+}
+
+// setState transitions the job; terminal states close Done and cancel
+// the job context, releasing its registration under the manager
+// context (a completed job would otherwise pin a child context for
+// the life of the server).
+func (j *Job) setState(s State, err error, result []*parsurf.Ensemble) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = s
+	j.err = err
+	j.result = result
+	if s.Terminal() {
+		close(j.done)
+		j.cancel()
+	}
+}
+
+// run executes the job on the calling runner goroutine.
+func (j *Job) run() {
+	if j.ctx.Err() != nil {
+		j.finishErr(j.ctx.Err())
+		return
+	}
+	j.setState(StateRunning, nil, nil)
+	ens, err := parsurf.RunSweep(j.ctx, j.req.Specs, j.req.Replicas, j.req.Workers,
+		j.req.Until, j.req.Every, parsurf.ObserveReplicas(j.observe))
+	if err != nil {
+		j.finishErr(err)
+		return
+	}
+	j.setState(StateDone, nil, ens)
+}
+
+// finishErr classifies a terminal error: a cancellation requested via
+// Cancel (or manager shutdown) is StateCancelled, anything else is a
+// failure.
+func (j *Job) finishErr(err error) {
+	if errors.Is(err, context.Canceled) {
+		j.setState(StateCancelled, err, nil)
+		return
+	}
+	j.setState(StateFailed, err, nil)
+}
+
+// Manager owns the bounded runner pool and the job table.
+type Manager struct {
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int
+	closed bool
+
+	queue  chan *Job
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// DefaultBacklog bounds the queued-job count when NewManager is given
+// no explicit backlog.
+const DefaultBacklog = 256
+
+// NewManager starts a manager with the given number of concurrent job
+// runners and queue capacity (DefaultBacklog when backlog <= 0). Each
+// job additionally fans its replicas over its own Request.Workers
+// goroutines, so the peak goroutine budget is runners × workers.
+func NewManager(runners, backlog int) *Manager {
+	if runners < 1 {
+		runners = 1
+	}
+	if backlog <= 0 {
+		backlog = DefaultBacklog
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		jobs:   make(map[string]*Job),
+		queue:  make(chan *Job, backlog),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	m.wg.Add(runners)
+	for i := 0; i < runners; i++ {
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				j.run()
+			}
+		}()
+	}
+	return m
+}
+
+// Submit validates and enqueues a job, returning it immediately. It
+// fails when the request is malformed, the manager is shut down, or
+// the backlog is full.
+func (m *Manager) Submit(req Request) (*Job, error) {
+	if len(req.Specs) == 0 {
+		return nil, fmt.Errorf("job: request needs at least one spec")
+	}
+	for i, spec := range req.Specs {
+		if spec == nil {
+			return nil, fmt.Errorf("job: spec %d is nil", i)
+		}
+	}
+	if req.Replicas == 0 {
+		req.Replicas = 1
+	}
+	if req.Replicas < 0 {
+		return nil, fmt.Errorf("job: negative replica count %d", req.Replicas)
+	}
+	if req.Workers == 0 {
+		req.Workers = 1
+	}
+	if req.Workers < 0 {
+		return nil, fmt.Errorf("job: negative worker count %d", req.Workers)
+	}
+	// Validate the grid up front so a degenerate schedule is a Submit
+	// error, not a failed job; the grid length also sizes the progress
+	// denominator.
+	grid, err := parsurf.NewTimeGrid(req.Until, req.Every)
+	if err != nil {
+		return nil, fmt.Errorf("job: %w", err)
+	}
+
+	// The whole registration, including the non-blocking enqueue, runs
+	// under the manager lock. Close sets the closed flag under this
+	// lock before it closes the queue channel (outside the lock), so a
+	// submit that reached the send must have observed !closed while
+	// Close was still waiting for the lock — the send always happens
+	// before the close. Moving the closed check out of the critical
+	// section would break that handshake.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("job: manager is shut down")
+	}
+	m.nextID++
+	id := fmt.Sprintf("job-%d", m.nextID)
+	ctx, cancel := context.WithCancel(m.ctx)
+	slots := len(req.Specs) * req.Replicas
+	j := &Job{
+		id:        id,
+		req:       req,
+		ctx:       ctx,
+		cancel:    cancel,
+		gridLen:   grid.Len(),
+		slotSteps: make([]atomic.Uint64, slots),
+		slotTime:  make([]atomic.Uint64, slots),
+		state:     StateQueued,
+		done:      make(chan struct{}),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		cancel()
+		return nil, fmt.Errorf("job: backlog full (%d queued)", cap(m.queue))
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	return j, nil
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Close stops accepting submissions, cancels every job (queued jobs
+// never start; running replicas abort within one engine step) and
+// waits for the runners to drain.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+
+	m.cancel()
+	close(m.queue)
+	m.wg.Wait()
+	// Queued jobs that were drained by cancelled runners still need a
+	// terminal state.
+	for _, j := range m.Jobs() {
+		j.finishErr(context.Canceled)
+	}
+}

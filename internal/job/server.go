@@ -1,0 +1,204 @@
+package job
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"parsurf"
+	"parsurf/internal/trace"
+)
+
+// Server is the HTTP face of a Manager: submit a spec as JSON, poll
+// status, fetch results, cancel. It implements http.Handler.
+//
+//	POST   /jobs             submit (see SubmitRequest)
+//	GET    /jobs             list job statuses
+//	GET    /jobs/{id}        one job's status
+//	GET    /jobs/{id}/result series (JSON; ?format=csv&variant=v for CSV)
+//	POST   /jobs/{id}/cancel cancel
+type Server struct {
+	mgr *Manager
+	mux *http.ServeMux
+}
+
+// SubmitRequest is the POST /jobs body: one spec (or several sweep
+// variants) in the specfile JSON schema, plus the run shape. Exactly
+// one of "spec" and "specs" must be present.
+type SubmitRequest struct {
+	Spec     *parsurf.SessionSpec   `json:"spec,omitempty"`
+	Specs    []*parsurf.SessionSpec `json:"specs,omitempty"`
+	Replicas int                    `json:"replicas,omitempty"`
+	Workers  int                    `json:"workers,omitempty"`
+	Until    float64                `json:"until"`
+	Every    float64                `json:"every"`
+}
+
+// VariantResult is one variant's merged series in a ResultResponse.
+type VariantResult struct {
+	// Species are the column labels, index-aligned with Mean/Std rows.
+	Species []string `json:"species"`
+	// T is the shared time grid.
+	T []float64 `json:"t"`
+	// Mean and Std are per-species rows over the grid.
+	Mean [][]float64 `json:"mean"`
+	Std  [][]float64 `json:"std"`
+}
+
+// ResultResponse is the GET /jobs/{id}/result body.
+type ResultResponse struct {
+	ID       string          `json:"id"`
+	Variants []VariantResult `json:"variants"`
+}
+
+// NewServer wraps a manager in the HTTP API.
+func NewServer(mgr *Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeJSON writes a JSON success body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req SubmitRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var specs []*parsurf.SessionSpec
+	switch {
+	case req.Spec != nil && len(req.Specs) > 0:
+		httpError(w, http.StatusBadRequest, fmt.Errorf(`body has both "spec" and "specs"; pick one`))
+		return
+	case req.Spec != nil:
+		specs = []*parsurf.SessionSpec{req.Spec}
+	case len(req.Specs) > 0:
+		specs = req.Specs
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf(`body needs a "spec" (or "specs") section`))
+		return
+	}
+	j, err := s.mgr.Submit(Request{
+		Specs:    specs,
+		Replicas: req.Replicas,
+		Workers:  req.Workers,
+		Until:    req.Until,
+		Every:    req.Every,
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.mgr.Jobs()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// lookup resolves the {id} path value.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.mgr.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookup(w, r); ok {
+		j.Cancel()
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	ensembles, err := j.Result()
+	if err != nil {
+		code := http.StatusConflict // not finished / cancelled / failed
+		httpError(w, code, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "csv" {
+		s.writeCSV(w, r, j, ensembles)
+		return
+	}
+	resp := ResultResponse{ID: j.ID()}
+	for v, ens := range ensembles {
+		vr := VariantResult{
+			Species: j.req.Specs[v].SpeciesNames(),
+			T:       ens.Grid.Times(),
+			Mean:    make([][]float64, len(ens.Mean)),
+			Std:     make([][]float64, len(ens.Std)),
+		}
+		for sp := range ens.Mean {
+			vr.Mean[sp] = ens.Mean[sp].X
+			vr.Std[sp] = ens.Std[sp].X
+		}
+		resp.Variants = append(resp.Variants, vr)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeCSV renders one variant's mean series in the same CSV shape
+// surfsim prints (t column plus one column per species).
+func (s *Server) writeCSV(w http.ResponseWriter, r *http.Request, j *Job, ensembles []*parsurf.Ensemble) {
+	variant := 0
+	if v := r.URL.Query().Get("variant"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 || n >= len(ensembles) {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("variant %q outside [0, %d)", v, len(ensembles)))
+			return
+		}
+		variant = n
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	header := append([]string{"t"}, j.req.Specs[variant].SpeciesNames()...)
+	// A mid-stream failure (client hung up) cannot be reported to the
+	// client anymore — the 200 status and partial CSV are already on
+	// the wire — so it is deliberately dropped rather than appended as
+	// a JSON fragment to a corrupt payload.
+	_ = trace.WriteCSV(w, header, ensembles[variant].Mean...)
+}

@@ -1,0 +1,207 @@
+package job
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smokeSpec is the CI smoke workload: a 32² ziff run submitted as raw
+// JSON, exactly what a curl client would post.
+const smokeSpec = `{
+  "spec": {
+    "model": null,
+    "lattice": {"l0": 32, "l1": 32},
+    "engine": {"name": "ziff", "y": 0.52},
+    "seed": 42
+  },
+  "replicas": 4,
+  "workers": 2,
+  "until": 10,
+  "every": 1
+}`
+
+func postJSON(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+// The full HTTP workflow: submit → status poll → JSON result → CSV
+// result. This is the same sequence the CI smoke step drives with
+// curl, run here under the race detector.
+func TestServerSubmitStatusResult(t *testing.T) {
+	m := NewManager(2, 0)
+	defer m.Close()
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+
+	code, body := postJSON(t, ts.URL+"/jobs", smokeSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" {
+		t.Fatal("submit returned no job id")
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, body := getBody(t, ts.URL+"/jobs/"+st.ID)
+		if code != http.StatusOK {
+			t.Fatalf("status: %d %s", code, body)
+		}
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state %s (err %q), want done", st.State, st.Error)
+	}
+	if st.Progress.GridPointsMerged != st.Progress.TotalGridPoints || st.Progress.TotalGridPoints == 0 {
+		t.Fatalf("progress %d/%d at completion",
+			st.Progress.GridPointsMerged, st.Progress.TotalGridPoints)
+	}
+
+	code, body2 := getBody(t, ts.URL+"/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, body2)
+	}
+	var res ResultResponse
+	if err := json.Unmarshal([]byte(body2), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 1 {
+		t.Fatalf("%d variants, want 1", len(res.Variants))
+	}
+	v := res.Variants[0]
+	if len(v.T) != 11 || len(v.Mean) != 3 || len(v.Mean[0]) != 11 {
+		t.Fatalf("result shape: %d grid points, %d species", len(v.T), len(v.Mean))
+	}
+	if v.Species[1] != "CO" {
+		t.Fatalf("species %v", v.Species)
+	}
+
+	code, csv := getBody(t, ts.URL+"/jobs/"+st.ID+"/result?format=csv")
+	if code != http.StatusOK {
+		t.Fatalf("csv result: %d %s", code, csv)
+	}
+	if !strings.HasPrefix(csv, "t,*,CO,O\n") {
+		t.Fatalf("csv header: %q", csv[:min(len(csv), 40)])
+	}
+	if lines := strings.Count(strings.TrimSpace(csv), "\n"); lines != 11 {
+		t.Fatalf("csv has %d data lines, want 11", lines)
+	}
+
+	// The job list includes it.
+	code, list := getBody(t, ts.URL+"/jobs")
+	if code != http.StatusOK || !strings.Contains(list, st.ID) {
+		t.Fatalf("list: %d %s", code, list)
+	}
+}
+
+// Cancelling over HTTP aborts the replicas.
+func TestServerCancel(t *testing.T) {
+	m := NewManager(1, 0)
+	defer m.Close()
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+
+	long := `{
+	  "spec": {"lattice": {"l0": 24, "l1": 24}, "engine": {"name": "ziff", "y": 0.51}},
+	  "replicas": 2, "workers": 2, "until": 1e9, "every": 1e6
+	}`
+	code, body := postJSON(t, ts.URL+"/jobs", long)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	code, body2 := postJSON(t, ts.URL+"/jobs/"+st.ID+"/cancel", "")
+	if code != http.StatusOK {
+		t.Fatalf("cancel: %d %s", code, body2)
+	}
+	j, ok := m.Get(st.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	waitTerminal(t, j, 10*time.Second)
+	if s := j.Status().State; s != StateCancelled {
+		t.Fatalf("state %s after cancel", s)
+	}
+	// Result of a cancelled job is a conflict, not a hang.
+	code, _ = getBody(t, ts.URL+"/jobs/"+st.ID+"/result")
+	if code != http.StatusConflict {
+		t.Fatalf("result of cancelled job: %d, want 409", code)
+	}
+}
+
+// Malformed submissions are rejected with registry-aware messages.
+func TestServerSubmitErrors(t *testing.T) {
+	m := NewManager(1, 0)
+	defer m.Close()
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+
+	cases := []struct {
+		name, body, wantSubstr string
+	}{
+		{"no spec", `{"until": 1, "every": 1}`, `spec`},
+		{"unknown engine", `{"spec": {"engine": {"name": "nope"}}, "until": 1, "every": 1}`, "unknown engine"},
+		{"unknown field", `{"spec": {"engine": {"name": "ziff"}, "bogus": 1}, "until": 1, "every": 1}`, "bogus"},
+		{"missing model", `{"spec": {"engine": {"name": "rsm"}}, "until": 1, "every": 1}`, "needs a model"},
+		{"bad grid", `{"spec": {"engine": {"name": "ziff"}}, "until": 0, "every": 1}`, "grid"},
+	}
+	for _, tc := range cases {
+		code, body := postJSON(t, ts.URL+"/jobs", tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, code, body)
+			continue
+		}
+		if !strings.Contains(string(body), tc.wantSubstr) {
+			t.Errorf("%s: error %s does not mention %q", tc.name, body, tc.wantSubstr)
+		}
+	}
+
+	if code, _ := getBody(t, ts.URL+"/jobs/job-999"); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", code)
+	}
+}

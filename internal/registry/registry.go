@@ -114,9 +114,17 @@ type Options struct {
 	// colouring fallback). Caller-supplied partitions are trusted, so
 	// deliberately invalid partitions remain usable in experiments.
 	Partition *partition.Partition
+	// PartitionSpec names a registered partition builder (e.g.
+	// "vonneumann5", "modular:16") to be resolved against the model and
+	// lattice at build time. Unlike Partition it is plain data, so it
+	// survives spec serialization. Ignored when Partition is set.
+	PartitionSpec string
 	// TypeSplit overrides the default Ω×T split (nil = Table II split
 	// by direction).
 	TypeSplit *partition.TypeSplit
+	// TypeSplitSpec names a registered type-split builder (e.g.
+	// "bydirection"); the serializable counterpart of TypeSplit.
+	TypeSplitSpec string
 	// Workers is the sweep-goroutine count (PNDCA, typepart) or strip
 	// count (DDRSM); 0 = sequential / engine default.
 	Workers int
@@ -141,10 +149,10 @@ func (o Options) set() OptionSet {
 	if o.Strategy != "" {
 		s |= OptStrategy
 	}
-	if o.Partition != nil {
+	if o.Partition != nil || o.PartitionSpec != "" {
 		s |= OptPartition
 	}
-	if o.TypeSplit != nil {
+	if o.TypeSplit != nil || o.TypeSplitSpec != "" {
 		s |= OptTypeSplit
 	}
 	if o.Workers != 0 {
@@ -220,8 +228,25 @@ func Lookup(name string) (Spec, bool) {
 	return s, ok
 }
 
+// CheckOptions validates that every set option is one the named engine
+// accepts, without building anything.
+func CheckOptions(name string, o Options) error {
+	spec, ok := engines[name]
+	if !ok {
+		return fmt.Errorf("registry: unknown engine %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	if extra := o.set() &^ spec.Accepts; extra != 0 {
+		return fmt.Errorf("registry: engine %q does not accept option(s) %s (accepts: %s)",
+			name, extra, spec.Accepts)
+	}
+	return nil
+}
+
 // New builds the engine registered under name, validating that every
-// set option is one the engine accepts.
+// set option is one the engine accepts. Named partition and type-split
+// builder specs are resolved here against the compiled model, so
+// factories only ever see the pointer fields.
 func New(name string, cm *model.Compiled, cfg *lattice.Config, src *rng.Source, o Options) (Engine, error) {
 	spec, ok := engines[name]
 	if !ok {
@@ -240,6 +265,20 @@ func New(name string, cm *model.Compiled, cfg *lattice.Config, src *rng.Source, 
 	if extra := o.set() &^ spec.Accepts; extra != 0 {
 		return nil, fmt.Errorf("registry: engine %q does not accept option(s) %s (accepts: %s)",
 			name, extra, spec.Accepts)
+	}
+	if o.Partition == nil && o.PartitionSpec != "" {
+		p, err := BuildPartition(o.PartitionSpec, cm.Model, cm.Lat)
+		if err != nil {
+			return nil, err
+		}
+		o.Partition = p
+	}
+	if o.TypeSplit == nil && o.TypeSplitSpec != "" {
+		ts, err := BuildTypeSplit(o.TypeSplitSpec, cm.Model, cm.Lat)
+		if err != nil {
+			return nil, err
+		}
+		o.TypeSplit = ts
 	}
 	return spec.New(cm, cfg, src, o)
 }

@@ -28,12 +28,20 @@
 // wires model, lattice, engine and seed in one declarative call:
 //
 //	sess, err := parsurf.NewSession(
-//		parsurf.WithModel(parsurf.NewZGBModel(parsurf.DefaultZGBRates())),
+//		parsurf.WithModelPreset("zgb", nil),
 //		parsurf.WithLattice(256, 256),
 //		parsurf.WithEngine("lpndca", parsurf.Trials(100), parsurf.Strategy(parsurf.RateWeighted)),
 //		parsurf.WithSeed(42),
 //	)
 //	stats, err := sess.Run(ctx, parsurf.Until(200), parsurf.SampleEvery(0.25, obs))
+//
+// A SessionSpec is closure-free plain data: partitions, type splits,
+// initial conditions and models are all named registry entries, so a
+// spec round-trips exactly through JSON (MarshalJSON/UnmarshalJSON,
+// ParseSpec; schema in internal/specfile) and reruns bit-identically —
+// from Go, from a file (`surfsim -spec run.json`), or over HTTP
+// (cmd/surfd, backed by the internal/job manager: bounded runner pool,
+// per-job progress, cancellation).
 //
 // RunEnsemble executes independent replicas of a SessionSpec on split
 // RNG streams across goroutines, sampling every replica on a shared

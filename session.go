@@ -2,12 +2,15 @@ package parsurf
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"parsurf/internal/core"
+	"parsurf/internal/initpreset"
 	"parsurf/internal/registry"
 	"parsurf/internal/rng"
 	"parsurf/internal/sim"
+	"parsurf/internal/specfile"
 )
 
 // Engine is the uniform contract of every simulation engine: the
@@ -30,6 +33,24 @@ func EngineSpecs() []EngineSpec { return registry.Specs() }
 // LookupEngine returns the spec registered under name.
 func LookupEngine(name string) (EngineSpec, bool) { return registry.Lookup(name) }
 
+// PartitionBuilders returns the names of the registered partition
+// builders ("vonneumann5", "checkerboard", "modular", …) usable with
+// PartitionNamed and in serialized specs.
+func PartitionBuilders() []string { return registry.PartitionBuilderNames() }
+
+// TypeSplitBuilders returns the names of the registered type-split
+// builders ("bydirection") usable with TypeSplitNamed and in serialized
+// specs.
+func TypeSplitBuilders() []string { return registry.TypeSplitBuilderNames() }
+
+// InitPresets returns the names of the registered initial-configuration
+// presets ("empty", "fill", "random", "checkerboard").
+func InitPresets() []string { return initpreset.Names() }
+
+// ModelPresets returns the names of the model presets a serialized spec
+// may reference ("zgb", "ptco", "diffusion", "ising").
+func ModelPresets() []string { return specfile.ModelNames() }
+
 // Option bits of EngineSpec.Accepts: consumers (e.g. CLIs) can forward
 // a flag to every engine that understands it without per-engine
 // dispatch.
@@ -44,10 +65,10 @@ const (
 	OptDeterministicTime = registry.OptDeterministicTime
 )
 
-// EngineOption configures one engine construction. Options are applied
-// at build time, when the model and lattice are known, so partition and
-// type-split builders can depend on both. Passing an option the chosen
-// engine does not understand is a construction error.
+// EngineOption configures one engine construction. Options populate the
+// plain-data registry.Options value; the ones that consult the model or
+// lattice (PartitionWith) are applied when both are known — at NewSpec
+// time for sessions, at construction for NewEngine.
 type EngineOption func(m *Model, lat *Lattice, o *registry.Options) error
 
 // Trials sets the L-PNDCA trials per chunk selection (the paper's L).
@@ -112,7 +133,31 @@ func DeterministicClock() EngineOption {
 	}
 }
 
+// PartitionNamed selects the site partition for pndca/lpndca by the
+// name of a registered builder — "vonneumann5", "checkerboard",
+// "singlechunk", "singletons" or "modular[:K]". Unlike UsePartition the
+// choice is plain data: it survives JSON serialization and is rebuilt
+// deterministically from the spec's model and lattice.
+func PartitionNamed(spec string) EngineOption {
+	return func(_ *Model, _ *Lattice, o *registry.Options) error {
+		o.PartitionSpec = spec
+		return nil
+	}
+}
+
+// TypeSplitNamed selects the Ω×T reaction-type split for typepart by
+// builder name ("bydirection"); the serializable counterpart of
+// UseTypeSplit.
+func TypeSplitNamed(spec string) EngineOption {
+	return func(_ *Model, _ *Lattice, o *registry.Options) error {
+		o.TypeSplitSpec = spec
+		return nil
+	}
+}
+
 // UsePartition supplies the site partition for pndca/lpndca directly.
+// A spec carrying a raw partition cannot be serialized; prefer
+// PartitionNamed unless the partition is deliberately hand-built.
 func UsePartition(p *Partition) EngineOption {
 	return func(_ *Model, _ *Lattice, o *registry.Options) error {
 		o.Partition = p
@@ -121,11 +166,14 @@ func UsePartition(p *Partition) EngineOption {
 }
 
 // PartitionWith builds the site partition for pndca/lpndca from the
-// session's model and lattice at construction time, e.g.
+// session's model and lattice, e.g.
 //
 //	PartitionWith(func(m *Model, lat *Lattice) (*Partition, error) {
 //		return ModularColoring(m, lat, 16)
 //	})
+//
+// The builder runs once, at NewSpec time; like UsePartition the result
+// is a raw partition, so the spec cannot be serialized.
 func PartitionWith(build func(m *Model, lat *Lattice) (*Partition, error)) EngineOption {
 	return func(m *Model, lat *Lattice, o *registry.Options) error {
 		p, err := build(m, lat)
@@ -137,7 +185,8 @@ func PartitionWith(build func(m *Model, lat *Lattice) (*Partition, error)) Engin
 	}
 }
 
-// UseTypeSplit supplies the Ω×T reaction-type split for typepart.
+// UseTypeSplit supplies the Ω×T reaction-type split for typepart
+// directly (not serializable; prefer TypeSplitNamed).
 func UseTypeSplit(ts *TypeSplit) EngineOption {
 	return func(_ *Model, _ *Lattice, o *registry.Options) error {
 		o.TypeSplit = ts
@@ -167,27 +216,83 @@ func NewEngine(name string, cm *Compiled, cfg *Config, src *RNG, opts ...EngineO
 	return registry.New(name, cm, cfg, src, o)
 }
 
-// SessionSpec is a replayable description of a simulation: model,
-// lattice, engine (by name, with options), seed and initial
-// configuration. Build one with NewSpec, instantiate with Session, or
+// InitSpec names an initial-configuration preset with its parameters —
+// plain data, the serializable replacement for init closures. The
+// preset is applied once before the engine is built, drawing from a
+// random stream split off the session seed, so initialisation never
+// perturbs the engine's stream. InitPresets lists the names.
+type InitSpec = specfile.InitRef
+
+// EmptyInit returns the all-vacant initial condition (the default).
+func EmptyInit() InitSpec { return InitSpec{Preset: "empty"} }
+
+// FillInit returns the single-species initial condition.
+func FillInit(species int) InitSpec {
+	return InitSpec{Preset: "fill", Species: []int{species}}
+}
+
+// RandomInit returns the independent per-site draw with the given
+// per-species weights (index = species value; need not be normalised).
+func RandomInit(fractions ...float64) InitSpec {
+	return InitSpec{Preset: "random", Fractions: fractions}
+}
+
+// CheckerboardInit returns the two-species parity initial condition.
+func CheckerboardInit(a, b int) InitSpec {
+	return InitSpec{Preset: "checkerboard", Species: []int{a, b}}
+}
+
+// SessionSpec is a replayable, closure-free description of a
+// simulation: model, lattice, engine (by name, with plain-data
+// options), seed and a named initial-configuration preset. Build one
+// with NewSpec (or decode one from JSON — the spec round-trips exactly
+// through MarshalJSON/UnmarshalJSON), instantiate with Session, or
 // hand it to RunEnsemble to run many replicas.
 type SessionSpec struct {
-	model   *Model
-	l0, l1  int
-	engine  string
-	engOpts []EngineOption
-	seed    uint64
-	init    func(cfg *Config, src *RNG)
+	model    *Model
+	modelRef *specfile.ModelRef // declarative origin; nil when set via WithModel
+	l0, l1   int
+	engine   string
+	engOpts  []EngineOption // pending until finish resolves them into opts
+	opts     registry.Options
+	seed     uint64
+	init     *specfile.InitRef
 }
 
 // SessionOption configures a SessionSpec.
 type SessionOption func(*SessionSpec) error
 
 // WithModel sets the reaction model. Required for every engine except
-// the model-free ones (ziff).
+// the model-free ones (ziff). A model set this way serializes as an
+// inline definition in the modelfile text format; WithModelPreset
+// keeps the compact named form.
 func WithModel(m *Model) SessionOption {
 	return func(sp *SessionSpec) error {
 		sp.model = m
+		sp.modelRef = nil
+		return nil
+	}
+}
+
+// WithModelPreset sets the reaction model by preset name ("zgb",
+// "ptco", "diffusion", "ising") with optional parameter overrides —
+// the declarative counterpart of WithModel. ModelPresets lists the
+// names; unknown parameters are rejected with the accepted set.
+func WithModelPreset(name string, params map[string]float64) SessionOption {
+	return func(sp *SessionSpec) error {
+		m, err := specfile.BuildNamedModel(name, params)
+		if err != nil {
+			return err
+		}
+		ref := &specfile.ModelRef{Name: name}
+		if len(params) > 0 {
+			ref.Params = make(map[string]float64, len(params))
+			for k, v := range params {
+				ref.Params[k] = v
+			}
+		}
+		sp.model = m
+		sp.modelRef = ref
 		return nil
 	}
 }
@@ -222,22 +327,33 @@ func WithSeed(seed uint64) SessionOption {
 	}
 }
 
-// WithInit installs an initial-configuration hook, run once before the
-// engine is built. It receives a random stream split off the session
-// seed (so using it does not perturb the engine's stream) — ignore it
-// if the initialisation needs its own seeding discipline.
-func WithInit(init func(cfg *Config, src *RNG)) SessionOption {
+// WithInit selects the named initial-configuration preset, e.g.
+//
+//	parsurf.WithInit(parsurf.RandomInit(0.5, 0.5))
+//
+// The preset draws from a random stream split off the session seed (so
+// ensemble replicas, which run on split streams of their own, get
+// distinct initial surfaces), and being plain data it survives the
+// spec's JSON round-trip — unlike the init closures it replaces.
+func WithInit(init InitSpec) SessionOption {
 	return func(sp *SessionSpec) error {
-		sp.init = init
+		cp := init
+		cp.Fractions = append([]float64(nil), init.Fractions...)
+		cp.Species = append([]int(nil), init.Species...)
+		sp.init = &cp
 		return nil
 	}
 }
 
-// initStreamID derives the WithInit stream from the session seed; any
-// fixed id distinct from the ensemble replica ids works.
+// initStreamID derives the init-preset stream from the session seed;
+// any fixed id distinct from the ensemble replica ids works.
 const initStreamID = 0x696e6974 // "init"
 
-// NewSpec validates and returns a replayable session spec.
+// NewSpec validates and returns a replayable session spec. Engine
+// options are resolved into plain data here — including named partition
+// and type-split builders, which are built once against the spec's
+// model and lattice and shared (read-only) by every session and
+// ensemble replica built from the spec.
 func NewSpec(opts ...SessionOption) (*SessionSpec, error) {
 	sp := &SessionSpec{l0: 100, l1: 100, seed: 1}
 	for _, opt := range opts {
@@ -245,23 +361,79 @@ func NewSpec(opts ...SessionOption) (*SessionSpec, error) {
 			return nil, err
 		}
 	}
+	if err := sp.finish(); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// finish validates the spec and resolves every pending option into the
+// plain-data options value. It is the shared tail of NewSpec and
+// UnmarshalJSON.
+func (sp *SessionSpec) finish() error {
 	if sp.engine == "" {
-		return nil, fmt.Errorf("parsurf: session needs an engine (WithEngine); registered: %v", Engines())
+		return fmt.Errorf("parsurf: session needs an engine (WithEngine); registered: %v", Engines())
 	}
 	spec, ok := registry.Lookup(sp.engine)
 	if !ok {
-		return nil, fmt.Errorf("parsurf: unknown engine %q (registered: %v)", sp.engine, Engines())
+		return fmt.Errorf("parsurf: unknown engine %q (registered: %v)", sp.engine, Engines())
 	}
 	if sp.model == nil && !spec.ModelFree {
-		return nil, fmt.Errorf("parsurf: engine %q needs a model (WithModel)", sp.engine)
+		return fmt.Errorf("parsurf: engine %q needs a model (WithModel)", sp.engine)
 	}
-	return sp, nil
+	lat := NewLattice(sp.l0, sp.l1)
+	for _, opt := range sp.engOpts {
+		if err := opt(sp.model, lat, &sp.opts); err != nil {
+			return err
+		}
+	}
+	sp.engOpts = nil
+	if sp.opts.Partition != nil && sp.opts.PartitionSpec != "" {
+		return fmt.Errorf("parsurf: both a raw partition and the named builder %q are set; pick one", sp.opts.PartitionSpec)
+	}
+	if sp.opts.TypeSplit != nil && sp.opts.TypeSplitSpec != "" {
+		return fmt.Errorf("parsurf: both a raw type split and the named builder %q are set; pick one", sp.opts.TypeSplitSpec)
+	}
+	if err := registry.CheckOptions(sp.engine, sp.opts); err != nil {
+		return err
+	}
+	// Resolve named builders once; the result is read-only during
+	// stepping, so sessions and replicas can share it.
+	if sp.opts.PartitionSpec != "" {
+		p, err := registry.BuildPartition(sp.opts.PartitionSpec, sp.model, lat)
+		if err != nil {
+			return err
+		}
+		sp.opts.Partition = p
+	}
+	if sp.opts.TypeSplitSpec != "" {
+		ts, err := registry.BuildTypeSplit(sp.opts.TypeSplitSpec, sp.model, lat)
+		if err != nil {
+			return err
+		}
+		sp.opts.TypeSplit = ts
+	}
+	if sp.init != nil {
+		if _, err := initpreset.Build(sp.init.Preset, sp.init.Params()); err != nil {
+			return fmt.Errorf("parsurf: %w", err)
+		}
+	}
+	return nil
 }
 
 // Session returns a ready-to-run session built from the spec.
 func (sp *SessionSpec) Session() (*Session, error) {
 	return sp.build(rng.New(sp.seed))
 }
+
+// EngineName returns the spec's engine registry name.
+func (sp *SessionSpec) EngineName() string { return sp.engine }
+
+// Seed returns the spec's base seed.
+func (sp *SessionSpec) Seed() uint64 { return sp.seed }
+
+// Extents returns the spec's lattice extents.
+func (sp *SessionSpec) Extents() (l0, l1 int) { return sp.l0, sp.l1 }
 
 // NumSpecies returns the number of species of the spec's model, or the
 // three ZGB species for the model-free ziff engine — known without
@@ -283,8 +455,127 @@ func (sp *SessionSpec) SpeciesNames() []string {
 	return zgbSpeciesNames
 }
 
-// build wires lattice → compile → configuration → init → engine around
-// the given engine stream.
+// File renders the spec in its serialized form. It fails when the spec
+// carries values that exist only as Go pointers — a partition from
+// UsePartition/PartitionWith, a type split from UseTypeSplit — since
+// those cannot be rebuilt from a file; use the named builders instead.
+func (sp *SessionSpec) File() (*specfile.Spec, error) {
+	if sp.opts.Partition != nil && sp.opts.PartitionSpec == "" {
+		return nil, fmt.Errorf("parsurf: spec carries a raw partition; use PartitionNamed for a serializable spec")
+	}
+	if sp.opts.TypeSplit != nil && sp.opts.TypeSplitSpec == "" {
+		return nil, fmt.Errorf("parsurf: spec carries a raw type split; use TypeSplitNamed for a serializable spec")
+	}
+	f := &specfile.Spec{
+		Lattice: &specfile.Extents{L0: sp.l0, L1: sp.l1},
+		Engine: specfile.EngineRef{
+			Name:              sp.engine,
+			L:                 sp.opts.L,
+			Strategy:          sp.opts.Strategy,
+			Partition:         sp.opts.PartitionSpec,
+			TypeSplit:         sp.opts.TypeSplitSpec,
+			Workers:           sp.opts.Workers,
+			BlockW:            sp.opts.BlockW,
+			BlockH:            sp.opts.BlockH,
+			DeterministicTime: sp.opts.DeterministicTime,
+		},
+	}
+	seed := sp.seed
+	f.Seed = &seed
+	if sp.opts.HasY {
+		y := sp.opts.Y
+		f.Engine.Y = &y
+	}
+	if sp.init != nil {
+		init := *sp.init
+		f.Init = &init
+	}
+	// The model section is omitted for model-free engines: the strict
+	// decoder rejects a model a spec cannot use.
+	if eng, ok := registry.Lookup(sp.engine); ok && !eng.ModelFree {
+		switch {
+		case sp.modelRef != nil:
+			ref := *sp.modelRef
+			f.Model = &ref
+		case sp.model != nil:
+			text, err := specfile.ModelText(sp.model)
+			if err != nil {
+				return nil, fmt.Errorf("parsurf: serializing model: %w", err)
+			}
+			f.Model = &specfile.ModelRef{Text: text}
+		}
+	}
+	return f, nil
+}
+
+// MarshalJSON renders the spec as a specfile JSON document; the exact
+// inverse of UnmarshalJSON (decode → encode is byte-stable, and the
+// decoded spec reproduces the original's trajectories bit for bit).
+func (sp *SessionSpec) MarshalJSON() ([]byte, error) {
+	f, err := sp.File()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(f)
+}
+
+// UnmarshalJSON decodes and validates a specfile JSON document (see
+// internal/specfile for the schema). Unknown fields and unknown names
+// are rejected with registry-aware messages.
+func (sp *SessionSpec) UnmarshalJSON(data []byte) error {
+	f, err := specfile.ParseBytes(data)
+	if err != nil {
+		return err
+	}
+	ns, err := specFromFile(f)
+	if err != nil {
+		return err
+	}
+	*sp = *ns
+	return nil
+}
+
+// ParseSpec decodes a serialized spec — the programmatic form of
+// `surfsim -spec file.json`.
+func ParseSpec(data []byte) (*SessionSpec, error) {
+	sp := new(SessionSpec)
+	if err := sp.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// specFromFile builds the runnable spec from its serialized form.
+func specFromFile(f *specfile.Spec) (*SessionSpec, error) {
+	sp := &SessionSpec{l0: 100, l1: 100, seed: 1, engine: f.Engine.Name}
+	if f.Lattice != nil {
+		sp.l0, sp.l1 = f.Lattice.L0, f.Lattice.L1
+	}
+	if f.Seed != nil {
+		sp.seed = *f.Seed
+	}
+	if f.Model != nil {
+		m, err := f.Model.Build()
+		if err != nil {
+			return nil, err
+		}
+		ref := *f.Model
+		sp.model = m
+		sp.modelRef = &ref
+	}
+	sp.opts = f.Engine.Options()
+	if f.Init != nil {
+		init := *f.Init
+		sp.init = &init
+	}
+	if err := sp.finish(); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// build wires lattice → compile → configuration → init preset → engine
+// around the given engine stream.
 func (sp *SessionSpec) build(src *RNG) (*Session, error) {
 	lat := NewLattice(sp.l0, sp.l1)
 	var cm *Compiled
@@ -296,15 +587,13 @@ func (sp *SessionSpec) build(src *RNG) (*Session, error) {
 	}
 	cfg := NewConfig(lat)
 	if sp.init != nil {
-		sp.init(cfg, src.Split(initStreamID))
-	}
-	var o registry.Options
-	for _, opt := range sp.engOpts {
-		if err := opt(sp.model, lat, &o); err != nil {
-			return nil, err
+		fn, err := initpreset.Build(sp.init.Preset, sp.init.Params())
+		if err != nil {
+			return nil, fmt.Errorf("parsurf: %w", err)
 		}
+		fn(cfg, src.Split(initStreamID))
 	}
-	eng, err := registry.New(sp.engine, cm, cfg, src, o)
+	eng, err := registry.New(sp.engine, cm, cfg, src, sp.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -324,7 +613,7 @@ type Session struct {
 // NewSession builds a session in one call:
 //
 //	sess, err := parsurf.NewSession(
-//		parsurf.WithModel(parsurf.NewZGBModel(parsurf.DefaultZGBRates())),
+//		parsurf.WithModelPreset("zgb", nil),
 //		parsurf.WithLattice(256, 256),
 //		parsurf.WithEngine("lpndca", parsurf.Trials(100), parsurf.Strategy(parsurf.RateWeighted)),
 //		parsurf.WithSeed(42),

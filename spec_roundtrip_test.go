@@ -1,0 +1,196 @@
+package parsurf_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"parsurf"
+	"parsurf/internal/goldentrace"
+)
+
+// representativeSpec builds, for each registered engine, a spec that
+// exercises the options the engine accepts — including named partition
+// and type-split builders and an init preset — so the round-trip test
+// covers every serializable field, driven by the registry itself.
+func representativeSpec(t *testing.T, name string) *parsurf.SessionSpec {
+	t.Helper()
+	engSpec, ok := parsurf.LookupEngine(name)
+	if !ok {
+		t.Fatalf("engine %q not registered", name)
+	}
+	var engOpts []parsurf.EngineOption
+	if engSpec.Accepts&parsurf.OptL != 0 {
+		engOpts = append(engOpts, parsurf.Trials(7))
+	}
+	if engSpec.Accepts&parsurf.OptStrategy != 0 {
+		engOpts = append(engOpts, parsurf.StrategyName("rates"))
+	}
+	if engSpec.Accepts&parsurf.OptPartition != 0 {
+		engOpts = append(engOpts, parsurf.PartitionNamed("vonneumann5"))
+	}
+	if engSpec.Accepts&parsurf.OptTypeSplit != 0 {
+		engOpts = append(engOpts, parsurf.TypeSplitNamed("bydirection"))
+	}
+	if engSpec.Accepts&parsurf.OptWorkers != 0 {
+		engOpts = append(engOpts, parsurf.Workers(2))
+	}
+	if engSpec.Accepts&parsurf.OptY != 0 {
+		engOpts = append(engOpts, parsurf.COFraction(0.51))
+	}
+	if engSpec.Accepts&parsurf.OptBlocks != 0 {
+		engOpts = append(engOpts, parsurf.BlockSize(4, 4))
+	}
+	opts := []parsurf.SessionOption{
+		parsurf.WithLattice(goldentrace.Side, goldentrace.Side),
+		parsurf.WithEngine(name, engOpts...),
+		parsurf.WithSeed(goldentrace.Seed),
+	}
+	if !engSpec.ModelFree {
+		opts = append(opts,
+			parsurf.WithModelPreset("zgb", map[string]float64{"kCO": 0.6}),
+			parsurf.WithInit(parsurf.RandomInit(0.8, 0.1, 0.1)),
+		)
+	}
+	spec, err := parsurf.NewSpec(opts...)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return spec
+}
+
+// fingerprintSpec runs a session built from the spec for n steps and
+// hashes (configuration, clock) after every step.
+func fingerprintSpec(t *testing.T, spec *parsurf.SessionSpec, steps int) uint64 {
+	t.Helper()
+	sess, err := spec.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return goldentrace.Fingerprint(sess.Engine(), steps)
+}
+
+// The registry-driven round-trip property: for every registered
+// engine, a representative spec survives Marshal → Unmarshal exactly —
+// the decoded spec reproduces the original's 500-step trajectory bit
+// for bit (configurations AND clock), and a second marshal is
+// byte-identical to the first (the serialization is a fixed point).
+func TestSpecJSONRoundTripAllEngines(t *testing.T) {
+	const steps = 500
+	for _, name := range parsurf.Engines() {
+		spec := representativeSpec(t, name)
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		back, err := parsurf.ParseSpec(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal %s: %v", name, data, err)
+		}
+		data2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("%s: re-marshal: %v", name, err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Errorf("%s: serialization not a fixed point:\n  %s\n  %s", name, data, data2)
+		}
+		want := fingerprintSpec(t, spec, steps)
+		got := fingerprintSpec(t, back, steps)
+		if got != want {
+			t.Errorf("%s: decoded spec trajectory fingerprint 0x%016x, want 0x%016x — round trip not exact",
+				name, got, want)
+		}
+	}
+}
+
+// A model set via WithModel (no preset) serializes as inline modelfile
+// text and still round-trips exactly.
+func TestSpecInlineModelRoundTrip(t *testing.T) {
+	spec, err := parsurf.NewSpec(
+		parsurf.WithModel(parsurf.NewPtCOModel(parsurf.DefaultPtCORates())),
+		parsurf.WithLattice(20, 20),
+		parsurf.WithEngine("rsm"),
+		parsurf.WithSeed(5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"text"`) {
+		t.Fatalf("inline model did not serialize as text: %s", data)
+	}
+	back, err := parsurf.ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fingerprintSpec(t, back, 200), fingerprintSpec(t, spec, 200); got != want {
+		t.Fatalf("inline-model round trip not exact: 0x%016x vs 0x%016x", got, want)
+	}
+}
+
+// Specs carrying raw Go pointers refuse to serialize, with a hint
+// toward the named builders.
+func TestSpecRawPartitionNotSerializable(t *testing.T) {
+	lat := parsurf.NewSquareLattice(20)
+	part, err := parsurf.VonNeumann5(lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := parsurf.NewSpec(
+		parsurf.WithModelPreset("zgb", nil),
+		parsurf.WithLattice(20, 20),
+		parsurf.WithEngine("pndca", parsurf.UsePartition(part)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := json.Marshal(spec); err == nil || !strings.Contains(err.Error(), "PartitionNamed") {
+		t.Fatalf("marshal of raw-partition spec: %v, want a PartitionNamed hint", err)
+	}
+}
+
+// Decoding rejects unknown names with registry-aware messages.
+func TestSpecDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, wantSubstr string
+	}{
+		{"unknown engine", `{"engine": {"name": "nope"}}`, "registered:"},
+		{"unknown field", `{"engine": {"name": "ziff"}, "bogus": true}`, "bogus"},
+		{"unknown partition", `{"model": {"name": "zgb"}, "engine": {"name": "pndca", "partition": "hexagons"}}`, "partition builder"},
+		{"unknown preset", `{"model": {"name": "zgb"}, "engine": {"name": "rsm"}, "init": {"preset": "stripes"}}`, "unknown preset"},
+		{"unknown model", `{"model": {"name": "legomodel"}, "engine": {"name": "rsm"}}`, "model preset"},
+		{"unknown model param", `{"model": {"name": "zgb", "params": {"kXX": 1}}, "engine": {"name": "rsm"}}`, "kXX"},
+		{"model for model-free", `{"model": {"name": "zgb"}, "engine": {"name": "ziff"}}`, "model-free"},
+		{"option not accepted", `{"model": {"name": "zgb"}, "engine": {"name": "rsm", "L": 5}}`, "does not accept"},
+		{"bad fractions", `{"model": {"name": "zgb"}, "engine": {"name": "rsm"}, "init": {"preset": "random", "fractions": [1]}}`, "fractions"},
+	}
+	for _, tc := range cases {
+		_, err := parsurf.ParseSpec([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSubstr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSubstr)
+		}
+	}
+}
+
+// The spec accessors expose what the ensemble and service layers need
+// without building a session.
+func TestSpecAccessors(t *testing.T) {
+	spec := representativeSpec(t, "lpndca")
+	if spec.EngineName() != "lpndca" {
+		t.Errorf("EngineName %q", spec.EngineName())
+	}
+	if spec.Seed() != goldentrace.Seed {
+		t.Errorf("Seed %d", spec.Seed())
+	}
+	if l0, l1 := spec.Extents(); l0 != goldentrace.Side || l1 != goldentrace.Side {
+		t.Errorf("Extents %dx%d", l0, l1)
+	}
+}
