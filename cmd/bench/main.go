@@ -1,14 +1,18 @@
 // Command bench runs the paper-shaped performance workloads — the ZGB
 // CO-oxidation model on 64², 128² and 256² lattices — across every
 // registered engine and writes a BENCH_<date>.json trajectory file with
-// ns/event, events/sec and allocation counts. Committing one such file
-// per performance PR keeps the hot-path numbers accountable over time.
+// ns/event, events/sec and allocation counts, plus an ensemble-
+// throughput section (replicas/sec, allocations per replica, and the
+// fresh-build vs pooled-Reset per-replica setup cost). Committing one
+// such file per performance PR keeps the hot-path numbers accountable
+// over time.
 //
 // Usage:
 //
 //	go run ./cmd/bench            # full workload set, writes BENCH_<date>.json
 //	go run ./cmd/bench -quick     # 64² only, reduced budgets (CI smoke)
 //	go run ./cmd/bench -o out.json -engines vssm,frm -sizes 128
+//	go run ./cmd/bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // The "event" unit is one reaction trial for trial-based engines (one
 // MC step = N trials) and one executed reaction for the event-based
@@ -16,11 +20,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -47,16 +53,48 @@ type Result struct {
 	BytesPerOp   float64 `json:"bytes_per_event"`
 }
 
+// EnsembleResult is one (engine, lattice) ensemble-throughput
+// measurement: the cost of running many replicas through the pooled
+// RunEnsemble path, and the per-replica setup cost of a fresh session
+// build vs a pooled Session.Reset.
+type EnsembleResult struct {
+	Engine   string  `json:"engine"`
+	Model    string  `json:"model"`
+	Lattice  int     `json:"lattice"`
+	Replicas int     `json:"replicas"`
+	Workers  int     `json:"workers"`
+	Until    float64 `json:"until"`
+	Every    float64 `json:"every"`
+
+	// End-to-end RunEnsemble throughput (build/Reset + run + merge).
+	ElapsedNs        int64   `json:"elapsed_ns"`
+	ReplicasPerSec   float64 `json:"replicas_per_sec"`
+	AllocsPerReplica float64 `json:"allocs_per_replica"`
+	BytesPerReplica  float64 `json:"bytes_per_replica"`
+
+	// Per-replica setup cost in isolation: constructing a session from
+	// the spec (fresh) vs rewinding a pooled one (reset).
+	SetupFreshAllocs float64 `json:"setup_fresh_allocs_per_replica"`
+	SetupFreshBytes  float64 `json:"setup_fresh_bytes_per_replica"`
+	SetupFreshNs     float64 `json:"setup_fresh_ns_per_replica"`
+	SetupResetAllocs float64 `json:"setup_reset_allocs_per_replica"`
+	SetupResetBytes  float64 `json:"setup_reset_bytes_per_replica"`
+	SetupResetNs     float64 `json:"setup_reset_ns_per_replica"`
+	// SetupAllocReduction is fresh/reset allocations (the pooling win).
+	SetupAllocReduction float64 `json:"setup_alloc_reduction_factor"`
+}
+
 // File is the BENCH_<date>.json top level.
 type File struct {
-	Date      string   `json:"date"`
-	GoVersion string   `json:"go_version"`
-	GOARCH    string   `json:"goarch"`
-	GOOS      string   `json:"goos"`
-	NumCPU    int      `json:"num_cpu"`
-	Quick     bool     `json:"quick"`
-	Seed      uint64   `json:"seed"`
-	Results   []Result `json:"results"`
+	Date      string           `json:"date"`
+	GoVersion string           `json:"go_version"`
+	GOARCH    string           `json:"goarch"`
+	GOOS      string           `json:"goos"`
+	NumCPU    int              `json:"num_cpu"`
+	Quick     bool             `json:"quick"`
+	Seed      uint64           `json:"seed"`
+	Results   []Result         `json:"results"`
+	Ensemble  []EnsembleResult `json:"ensemble"`
 }
 
 func main() {
@@ -65,7 +103,21 @@ func main() {
 	enginesFlag := flag.String("engines", "", "comma-separated engine subset (default all registered)")
 	sizesFlag := flag.String("sizes", "", "comma-separated lattice sides (default 64,128,256; -quick 64)")
 	seed := flag.Uint64("seed", 2003, "RNG seed shared by every workload")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path before exiting")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	sizes := []int{64, 128, 256}
 	if *quick {
@@ -119,6 +171,30 @@ func main() {
 		}
 	}
 
+	// Ensemble throughput: the per-replica economics of the pooled
+	// replica path, at the smallest configured lattice (the regime where
+	// setup cost dominates).
+	ensSide := sizes[0]
+	for _, s := range sizes {
+		if s < ensSide {
+			ensSide = s
+		}
+	}
+	ensReplicas, setupReps := 64, 100
+	if *quick {
+		ensReplicas, setupReps = 16, 25
+	}
+	for _, name := range engines {
+		res, err := measureEnsemble(name, ensSide, *seed, ensReplicas, setupReps)
+		if err != nil {
+			fatalf("ensemble %s @ %d²: %v", name, ensSide, err)
+		}
+		file.Ensemble = append(file.Ensemble, res)
+		fmt.Printf("%-9s %4d² ensemble  %8.1f replicas/s  %8.1f allocs/replica  setup %8.0f → %4.0f allocs (%.0fx)\n",
+			res.Engine, res.Lattice, res.ReplicasPerSec, res.AllocsPerReplica,
+			res.SetupFreshAllocs, res.SetupResetAllocs, res.SetupAllocReduction)
+	}
+
 	path := *out
 	if path == "" {
 		path = "BENCH_" + file.Date + ".json"
@@ -131,7 +207,19 @@ func main() {
 	if err := os.WriteFile(path, blob, 0o644); err != nil {
 		fatalf("write %s: %v", path, err)
 	}
-	fmt.Printf("wrote %s (%d results)\n", path, len(file.Results))
+	fmt.Printf("wrote %s (%d results, %d ensemble)\n", path, len(file.Results), len(file.Ensemble))
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+	}
 }
 
 // measure times one (engine, side) workload: construct on the shared
@@ -154,7 +242,18 @@ func measure(name string, side int, seed, eventBudget, stepBudget uint64) (Resul
 		budget = eventBudget
 		perStep = 1
 	}
+	// Warm up 10% of the budget (at least two steps) so the engines
+	// reach their steady state before the measurement window: scratch
+	// buffers, deferral lists and enabled sets grow to their working
+	// capacity during warmup, and the measured window then reflects the
+	// allocation-free steady state the CI smoke job asserts.
 	warm := budget / 10
+	if warm < 2 {
+		warm = 2
+	}
+	if warm >= budget {
+		warm = budget - 1
+	}
 	for i := uint64(0); i < warm; i++ {
 		if !eng.Step() {
 			return Result{}, fmt.Errorf("absorbed during warmup after %d steps", i)
@@ -192,6 +291,108 @@ func measure(name string, side int, seed, eventBudget, stepBudget uint64) (Resul
 		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(events),
 		BytesPerOp:   float64(after.TotalAlloc-before.TotalAlloc) / float64(events),
 	}, nil
+}
+
+// measureEnsemble benchmarks the replica economics of one engine at one
+// lattice side: the isolated per-replica setup cost (fresh spec.Session
+// builds vs pooled Session.Reset rewinds) and the end-to-end pooled
+// RunEnsemble throughput.
+func measureEnsemble(name string, side int, seed uint64, replicas, setupReps int) (EnsembleResult, error) {
+	opts := []parsurf.SessionOption{
+		parsurf.WithLattice(side, side),
+		parsurf.WithSeed(seed),
+		parsurf.WithEngine(name),
+	}
+	modelName := "zgb"
+	if spec, ok := parsurf.LookupEngine(name); ok && !spec.ModelFree {
+		// The random init preset keeps the measured Reset path honest:
+		// a pooled replica re-draws its initial surface on every Reset,
+		// so the zero-allocation assertion covers the init-preset
+		// machinery, not just the engine rewind.
+		opts = append(opts,
+			parsurf.WithModelPreset("zgb", nil),
+			parsurf.WithInit(parsurf.RandomInit(0.9, 0.05, 0.05)))
+	} else {
+		modelName = "ziff"
+	}
+	spec, err := parsurf.NewSpec(opts...)
+	if err != nil {
+		return EnsembleResult{}, err
+	}
+
+	const until, every = 1.0, 0.25
+	workers := runtime.NumCPU()
+	res := EnsembleResult{
+		Engine: name, Model: modelName, Lattice: side,
+		Replicas: replicas, Workers: workers, Until: until, Every: every,
+	}
+
+	// Setup, fresh: every replica pays lattice/config/engine
+	// construction (the compiled arena is already spec-cached in both
+	// paths — that amortisation benefits fresh builds too).
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < setupReps; i++ {
+		if _, err := spec.Session(); err != nil {
+			return EnsembleResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	res.SetupFreshAllocs = float64(after.Mallocs-before.Mallocs) / float64(setupReps)
+	res.SetupFreshBytes = float64(after.TotalAlloc-before.TotalAlloc) / float64(setupReps)
+	res.SetupFreshNs = float64(elapsed.Nanoseconds()) / float64(setupReps)
+
+	// Setup, pooled: one session, rewound per replica. Warm over the
+	// exact seed sequence the measurement replays: enabled sets and
+	// event queues grow to the largest capacity any of these initial
+	// surfaces needs, so the measured pass is the true steady state
+	// (without the warm pass, a rare Reset whose random surface enables
+	// more instances than any before ratchets a capacity and shows up
+	// as a fractional allocation).
+	sess, err := spec.Session()
+	if err != nil {
+		return EnsembleResult{}, err
+	}
+	var src parsurf.RNG
+	for i := 0; i < setupReps; i++ {
+		src.Seed(seed + uint64(i))
+		sess.Reset(&src)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start = time.Now()
+	for i := 0; i < setupReps; i++ {
+		src.Seed(seed + uint64(i))
+		sess.Reset(&src)
+	}
+	elapsed = time.Since(start)
+	runtime.ReadMemStats(&after)
+	res.SetupResetAllocs = float64(after.Mallocs-before.Mallocs) / float64(setupReps)
+	res.SetupResetBytes = float64(after.TotalAlloc-before.TotalAlloc) / float64(setupReps)
+	res.SetupResetNs = float64(elapsed.Nanoseconds()) / float64(setupReps)
+	if res.SetupResetAllocs > 0 {
+		res.SetupAllocReduction = res.SetupFreshAllocs / res.SetupResetAllocs
+	} else {
+		res.SetupAllocReduction = res.SetupFreshAllocs // reset is allocation-free
+	}
+
+	// End-to-end pooled ensemble throughput.
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start = time.Now()
+	if _, err := parsurf.RunEnsemble(context.Background(), spec, replicas, workers, until, every); err != nil {
+		return EnsembleResult{}, err
+	}
+	elapsed = time.Since(start)
+	runtime.ReadMemStats(&after)
+	res.ElapsedNs = elapsed.Nanoseconds()
+	res.ReplicasPerSec = float64(replicas) / elapsed.Seconds()
+	res.AllocsPerReplica = float64(after.Mallocs-before.Mallocs) / float64(replicas)
+	res.BytesPerReplica = float64(after.TotalAlloc-before.TotalAlloc) / float64(replicas)
+	return res, nil
 }
 
 func fatalf(format string, args ...any) {

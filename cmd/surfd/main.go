@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -36,23 +37,39 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		runners = flag.Int("runners", 2, "concurrent jobs (each fans replicas over its own workers)")
-		backlog = flag.Int("backlog", job.DefaultBacklog, "queued-job capacity")
+		addr      = flag.String("addr", ":8080", "listen address")
+		runners   = flag.Int("runners", 2, "concurrent jobs (each fans replicas over its own workers)")
+		backlog   = flag.Int("backlog", job.DefaultBacklog, "queued-job capacity")
+		withPprof = flag.Bool("pprof", false, "serve Go runtime profiles under /debug/pprof/ (opt-in: profiles expose internals, keep off on untrusted networks)")
 	)
 	flag.Parse()
-	if err := serve(*addr, *runners, *backlog); err != nil {
+	if err := serve(*addr, *runners, *backlog, *withPprof); err != nil {
 		fmt.Fprintln(os.Stderr, "surfd:", err)
 		os.Exit(1)
 	}
 }
 
-func serve(addr string, runners, backlog int) error {
+func serve(addr string, runners, backlog int, withPprof bool) error {
 	if runners < 1 {
 		runners = max(1, runtime.NumCPU()/2)
 	}
 	mgr := job.NewManager(runners, backlog)
-	srv := &http.Server{Addr: addr, Handler: job.NewServer(mgr)}
+	var handler http.Handler = job.NewServer(mgr)
+	if withPprof {
+		// Mount the profile endpoints beside the job API on an explicit
+		// mux (the job server stays the fallback for everything else) —
+		// never via the global DefaultServeMux, so the endpoints exist
+		// only when asked for.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	srv := &http.Server{Addr: addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -3,6 +3,7 @@ package parsurf
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"parsurf/internal/ensemble"
 	"parsurf/internal/rng"
@@ -97,6 +98,78 @@ func ObserveReplicas(obs ReplicaObserver) EnsembleOption {
 // a user might derive from the same seed.
 func replicaStreamID(i int) uint64 { return uint64(i) + 1 }
 
+// replicaSlot is one pooled replica context: a reusable session (built
+// once, rewound with Session.Reset for every subsequent replica index
+// it runs), the stable storage of its engine stream, and the
+// occupancy-count scratch of the grid sampler. Which slot runs which
+// replica index is irrelevant to the result: the trajectory is a
+// function of (spec, replica stream) only, by the Reset contract.
+type replicaSlot struct {
+	sess   *Session
+	stream RNG
+	counts []int
+}
+
+// slotPool hands replica slots to the ensemble workers. A plain
+// locked free list (not sync.Pool): slots must survive GC cycles for
+// the whole run, and the pool never outlives its RunSweep call. At
+// most `workers` slots exist per variant.
+type slotPool struct {
+	mu   sync.Mutex
+	free []*replicaSlot
+}
+
+func (p *slotPool) get() *replicaSlot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	return &replicaSlot{}
+}
+
+func (p *slotPool) put(s *replicaSlot) {
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}
+
+// valuesPool recycles the per-replica sample grids (species × grid
+// points) of the streaming merge. Buffers return through the
+// accumulator's release hook once their replica has committed, so at
+// most window+workers grids are live per variant regardless of the
+// replica count.
+type valuesPool struct {
+	mu     sync.Mutex
+	vars   int
+	points int
+	free   [][][]float64
+}
+
+func (p *valuesPool) get() [][]float64 {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return v
+	}
+	p.mu.Unlock()
+	values := make([][]float64, p.vars)
+	for sp := range values {
+		values[sp] = make([]float64, p.points)
+	}
+	return values
+}
+
+func (p *valuesPool) put(v [][]float64) {
+	p.mu.Lock()
+	p.free = append(p.free, v)
+	p.mu.Unlock()
+}
+
 // RunEnsemble runs independent replicas of the spec'd simulation and
 // merges their coverage series. Replica i draws from the split stream
 // NewRNG(seed).Split(i+1), so the members are statistically independent
@@ -157,6 +230,8 @@ func RunSweep(ctx context.Context, specs []*SessionSpec, replicas, workers int, 
 
 	out := make([]*Ensemble, len(specs))
 	accs := make([]*ensemble.Accumulator, len(specs))
+	slots := make([]*slotPool, len(specs))
+	bufs := make([]*valuesPool, len(specs))
 	for v, spec := range specs {
 		out[v] = &Ensemble{Grid: grid}
 		if cfg.keep {
@@ -166,11 +241,31 @@ func RunSweep(ctx context.Context, specs []*SessionSpec, replicas, workers int, 
 		// worker count even when one early replica far outlives its
 		// siblings.
 		accs[v] = ensemble.NewAccumulator(spec.NumSpecies(), grid.Len(), workers)
+		if !cfg.keep {
+			// Streaming mode pools both the sessions (built once per
+			// worker, rewound with Reset per replica) and the sample
+			// grids (released by the accumulator once a replica
+			// commits). KeepReplicas retains sessions and series on the
+			// result, so nothing can be recycled there.
+			slots[v] = &slotPool{}
+			pool := &valuesPool{vars: spec.NumSpecies(), points: grid.Len()}
+			bufs[v] = pool
+			accs[v].SetRelease(pool.put)
+		}
 	}
 	times := grid.Times() // one shared copy: Mean/Std/replica series all point at it
 	err = ensemble.Run(ctx, len(specs)*replicas, workers, func(ctx context.Context, job int) error {
 		v, i := job/replicas, job%replicas
-		rep, values, err := runReplica(ctx, specs[v], v, i, grid, times, &cfg)
+		var (
+			rep    *Replica
+			values [][]float64
+			err    error
+		)
+		if cfg.keep {
+			rep, values, err = runReplicaFresh(ctx, specs[v], v, i, grid, times, &cfg)
+		} else {
+			values, err = runReplicaPooled(ctx, specs[v], v, i, grid, slots[v], bufs[v], &cfg)
+		}
 		if err == nil {
 			err = accs[v].Add(ctx, i, values)
 		}
@@ -206,21 +301,14 @@ func seriesOnGrid(times []float64, rows [][]float64) []*Series {
 	return out
 }
 
-// runReplica builds and runs ensemble member i of variant spec,
-// sampling per-species coverages at every grid point.
-func runReplica(ctx context.Context, spec *SessionSpec, variant, i int, grid TimeGrid, times []float64, cfg *ensembleConfig) (*Replica, [][]float64, error) {
-	sess, err := spec.build(rng.New(spec.seed).Split(replicaStreamID(i)))
-	if err != nil {
-		return nil, nil, err
-	}
-	numSpecies := sess.NumSpecies()
+// sampleOnGrid runs the session through the grid, recording per-species
+// coverages into values (species × grid points, fully overwritten) and
+// firing the replica observers. counts is the occupancy scratch; the
+// possibly-grown slice is returned for reuse.
+func sampleOnGrid(ctx context.Context, sess *Session, variant, i int, grid TimeGrid, values [][]float64, counts []int, cfg *ensembleConfig) (scratch []int, steps int, err error) {
 	n := float64(sess.Lattice().N())
-	values := make([][]float64, numSpecies)
-	for sp := range values {
-		values[sp] = make([]float64, grid.Len())
-	}
-	steps, err := sim.RunGrid(ctx, sess.Engine(), grid, func(k int, c *Config) {
-		counts := c.CountAll(numSpecies)
+	steps, err = sim.RunGrid(ctx, sess.Engine(), grid, func(k int, c *Config) {
+		counts = c.CountInto(counts)
 		for sp := range values {
 			values[sp][k] = float64(counts[sp]) / n
 		}
@@ -228,11 +316,25 @@ func runReplica(ctx context.Context, spec *SessionSpec, variant, i int, grid Tim
 			obs(variant, i, grid.At(k), sess)
 		}
 	})
+	return counts, steps, err
+}
+
+// runReplicaFresh builds and runs ensemble member i of variant spec
+// from scratch — the KeepReplicas path, where the session and coverage
+// series survive on the result and cannot be recycled.
+func runReplicaFresh(ctx context.Context, spec *SessionSpec, variant, i int, grid TimeGrid, times []float64, cfg *ensembleConfig) (*Replica, [][]float64, error) {
+	sess, err := spec.build(rng.New(spec.seed).Split(replicaStreamID(i)))
 	if err != nil {
 		return nil, nil, err
 	}
-	if !cfg.keep {
-		return nil, values, nil
+	numSpecies := sess.NumSpecies()
+	values := make([][]float64, numSpecies)
+	for sp := range values {
+		values[sp] = make([]float64, grid.Len())
+	}
+	_, steps, err := sampleOnGrid(ctx, sess, variant, i, grid, values, make([]int, numSpecies), cfg)
+	if err != nil {
+		return nil, nil, err
 	}
 	rep := &Replica{
 		Session:  sess,
@@ -240,4 +342,40 @@ func runReplica(ctx context.Context, spec *SessionSpec, variant, i int, grid Tim
 		Stats:    RunStats{Steps: steps, Samples: grid.Len(), Time: sess.Engine().Time()},
 	}
 	return rep, values, nil
+}
+
+// runReplicaPooled runs ensemble member i through a pooled session:
+// the first replica a slot serves pays the full session build, every
+// later one only a Reset (configuration re-init plus engine rewind
+// over the retained buffers). Replica i's stream is derived exactly as
+// the fresh path derives it — NewRNG(seed).Split(i+1), rebuilt in
+// place in the slot's stable storage — so pooled trajectories are
+// bit-identical to fresh builds, whichever slot runs them.
+func runReplicaPooled(ctx context.Context, spec *SessionSpec, variant, i int, grid TimeGrid, slots *slotPool, bufs *valuesPool, cfg *ensembleConfig) ([][]float64, error) {
+	slot := slots.get()
+	var root RNG
+	root.Seed(spec.seed)
+	root.SplitInto(&slot.stream, replicaStreamID(i))
+	if slot.sess == nil {
+		sess, err := spec.build(&slot.stream)
+		if err != nil {
+			return nil, err
+		}
+		slot.sess = sess
+		slot.counts = make([]int, spec.NumSpecies())
+	} else {
+		slot.sess.Reset(&slot.stream)
+	}
+	values := bufs.get()
+	counts, _, err := sampleOnGrid(ctx, slot.sess, variant, i, grid, values, slot.counts, cfg)
+	slot.counts = counts
+	if err != nil {
+		// The slot is not returned: a failed or cancelled run leaves
+		// the engine mid-trajectory, and the pool only holds sessions
+		// that are safe to Reset. (They are safe either way, but a
+		// failing run is about to cancel the whole sweep anyway.)
+		return nil, err
+	}
+	slots.put(slot)
+	return values, nil
 }

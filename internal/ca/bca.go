@@ -27,6 +27,7 @@ type BCA struct {
 	// through step by step.
 	tilings []*partition.Partition
 	phase   int
+	scratch []int // confinement-check neighbourhood buffer, reused
 
 	// DeterministicTime uses 1/(N·K) per trial instead of Exp(N·K).
 	DeterministicTime bool
@@ -66,7 +67,7 @@ func (b *BCA) Step() bool {
 	p := b.tilings[b.phase]
 	n := b.cm.Lat.N()
 	nk := float64(n) * b.cm.K
-	var scratch []int
+	scratch := b.scratch
 	for _, block := range p.Chunks {
 		for i := 0; i < len(block); i++ {
 			s := int(block[b.src.Intn(len(block))])
@@ -98,9 +99,24 @@ func (b *BCA) Step() bool {
 			}
 		}
 	}
+	b.scratch = scratch
 	b.phase = (b.phase + 1) % len(b.tilings)
 	b.steps++
 	return true
+}
+
+// Reset rewinds the engine over a fresh configuration (see
+// registry.Engine.Reset). The precomputed shifted tilings depend only
+// on the lattice shape and block geometry, so they are kept; the phase
+// returns to the first tiling origin.
+func (b *BCA) Reset(cfg *lattice.Config, src *rng.Source) {
+	if !cfg.Lattice().SameShape(b.cm.Lat) {
+		panic("ca: Reset configuration lattice differs from compiled lattice")
+	}
+	b.cfg, b.cells, b.src = cfg, cfg.Cells(), src
+	b.time = 0
+	b.phase = 0
+	b.steps, b.trials, b.successes, b.rejected = 0, 0, 0, 0
 }
 
 // Time returns the simulated time.

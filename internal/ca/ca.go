@@ -119,6 +119,22 @@ func NewNDCA(cm *model.Compiled, cfg *lattice.Config, src *rng.Source) *NDCA {
 	return &NDCA{cm: cm, cfg: cfg, cells: cfg.Cells(), src: src, order: order}
 }
 
+// Reset rewinds the engine over a fresh configuration (see
+// registry.Engine.Reset). The sweep order returns to the raster
+// identity a fresh engine starts from (RandomOrder shuffles it in
+// place, so a reused engine would otherwise begin mid-permutation).
+func (a *NDCA) Reset(cfg *lattice.Config, src *rng.Source) {
+	if !cfg.Lattice().SameShape(a.cm.Lat) {
+		panic("ca: Reset configuration lattice differs from compiled lattice")
+	}
+	a.cfg, a.cells, a.src = cfg, cfg.Cells(), src
+	a.time = 0
+	a.steps, a.trials, a.successes = 0, 0, 0
+	for i := range a.order {
+		a.order[i] = i
+	}
+}
+
 // Step performs one NDCA step: one trial at every site.
 func (a *NDCA) Step() bool {
 	n := a.cm.Lat.N()

@@ -43,6 +43,11 @@ type SyncNDCA struct {
 	claim     []int32
 	proposals []proposal
 	order     []int
+	// scratch buffers of one Step, reused across steps so the
+	// steady-state update allocates nothing.
+	nbScratch []int
+	winners   []int32
+	dropped   map[int32]bool
 
 	steps     uint64
 	proposed  uint64
@@ -71,6 +76,21 @@ func NewSyncNDCA(cm *model.Compiled, cfg *lattice.Config, src *rng.Source) *Sync
 		claim:  make([]int32, n),
 		order:  order,
 	}
+}
+
+// Reset rewinds the engine over a fresh configuration (see
+// registry.Engine.Reset). The claim table, proposal and winner buffers
+// are cleared in place; Step re-derives them from scratch every update
+// anyway.
+func (a *SyncNDCA) Reset(cfg *lattice.Config, src *rng.Source) {
+	if !cfg.Lattice().SameShape(a.cm.Lat) {
+		panic("ca: Reset configuration lattice differs from compiled lattice")
+	}
+	a.cfg, a.cells, a.src = cfg, cfg.Cells(), src
+	a.time = 0
+	a.steps, a.proposed, a.conflicts, a.executed = 0, 0, 0, 0
+	clear(a.claim)
+	a.proposals = a.proposals[:0]
 }
 
 // Step performs one synchronous update: propose at all sites from the
@@ -104,18 +124,22 @@ func (a *SyncNDCA) Step() bool {
 	}
 	a.src.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 
-	var scratch []int
-	dropped := make(map[int32]bool)
-	winners := make([]int32, 0, len(a.proposals))
+	if a.dropped == nil {
+		a.dropped = make(map[int32]bool)
+	} else {
+		clear(a.dropped)
+	}
+	winners := a.winners[:0]
 	for _, pi := range idx {
 		p := a.proposals[pi]
-		scratch = a.cm.NbSites(scratch[:0], p.rt, p.site)
+		scratch := a.cm.NbSites(a.nbScratch[:0], p.rt, p.site)
+		a.nbScratch = scratch
 		conflict := false
 		for _, site := range scratch {
 			if a.claim[site] != 0 {
 				conflict = true
 				if a.Policy == DropAll {
-					dropped[a.claim[site]-1] = true
+					a.dropped[a.claim[site]-1] = true
 				}
 			}
 		}
@@ -128,12 +152,13 @@ func (a *SyncNDCA) Step() bool {
 		}
 		winners = append(winners, int32(pi))
 	}
+	a.winners = winners
 
 	// Phase 3: apply the surviving proposals simultaneously. Winners
 	// have pairwise disjoint neighbourhoods, so application order is
 	// irrelevant — this is the property partitions guarantee up front.
 	for _, pi := range winners {
-		if a.Policy == DropAll && dropped[pi] {
+		if a.Policy == DropAll && a.dropped[pi] {
 			a.conflicts++
 			continue
 		}

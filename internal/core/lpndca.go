@@ -94,6 +94,29 @@ func NewLPNDCA(cm *model.Compiled, cfg *lattice.Config, src *rng.Source, part *p
 	return e
 }
 
+// Reset rewinds the engine over a fresh configuration (see
+// registry.Engine.Reset). The partition, size prefix sums and L/
+// Strategy settings are kept. An existing rate tracker is re-derived
+// from the fresh cells in place; a fresh engine would only build it
+// lazily at the first RateWeighted selection, but since the tracker
+// consumes no randomness and both read the same initial configuration
+// the trajectories are identical.
+func (e *LPNDCA) Reset(cfg *lattice.Config, src *rng.Source) {
+	if !cfg.Lattice().SameShape(e.cm.Lat) {
+		panic("core: Reset configuration lattice differs from compiled lattice")
+	}
+	e.cfg, e.cells, e.src = cfg, cfg.Cells(), src
+	e.time = 0
+	e.steps, e.trials, e.successes = 0, 0, 0
+	e.cursor = 0
+	for i := range e.perm {
+		e.perm[i] = i
+	}
+	if e.tracker != nil {
+		e.tracker.reset(e.cells)
+	}
+}
+
 // chunkOfIndex maps a uniform site ordinal in [0,N) to its chunk via
 // binary search over the size prefix sums.
 func (e *LPNDCA) chunkOfIndex(idx int) int {

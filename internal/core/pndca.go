@@ -66,6 +66,12 @@ type PNDCA struct {
 	successes uint64
 	perm      []int
 	dtbuf     []float64 // per-site clock increments of one chunk sweep
+	// sweepBase is the per-sweep base stream, held on the struct so the
+	// parallel workers can share its (read-only) state without forcing
+	// a heap escape per sweep; succbuf and wg are likewise reused.
+	sweepBase rng.Source
+	succbuf   []uint64
+	wg        sync.WaitGroup
 }
 
 // NewPNDCA builds the engine. The partition must satisfy the all-types
@@ -144,31 +150,17 @@ func (p *PNDCA) Step() bool {
 // then summed in chunk order regardless of how the sites were
 // segmented across workers. Configurations AND the clock are therefore
 // bit-identical for every worker count — the same float additions run
-// in the same order as the sequential sweep.
+// in the same order as the sequential sweep. The per-site streams are
+// derived in place with SplitInto into stack values, so the
+// steady-state sweep allocates nothing.
 func (p *PNDCA) sweepChunk(chunk []int32) {
 	p.sweep++
-	base := p.src.Split(p.sweep)
+	p.src.SplitInto(&p.sweepBase, p.sweep)
 	nk := float64(p.cm.Lat.N()) * p.cm.K
 	if cap(p.dtbuf) < len(chunk) {
 		p.dtbuf = make([]float64, len(chunk))
 	}
 	dts := p.dtbuf[:len(chunk)]
-
-	visit := func(lo, hi int) (succ uint64) {
-		for i, s := range chunk[lo:hi] {
-			st := base.Split(uint64(s))
-			rt := p.cm.PickType(st.Float64())
-			if p.cm.TryExecute(p.cells, rt, int(s)) {
-				succ++
-			}
-			if p.DeterministicTime {
-				dts[lo+i] = 1 / nk
-			} else {
-				dts[lo+i] = st.Exp(nk)
-			}
-		}
-		return
-	}
 
 	workers := p.Workers
 	if workers < 1 {
@@ -178,21 +170,20 @@ func (p *PNDCA) sweepChunk(chunk []int32) {
 		workers = len(chunk)
 	}
 	if workers == 1 {
-		p.successes += visit(0, len(chunk))
+		p.successes += p.visit(chunk, dts, nk, 0, len(chunk))
 	} else {
 		// Fixed segmentation: worker w handles [w·len/W, (w+1)·len/W).
-		succs := make([]uint64, workers)
-		var wg sync.WaitGroup
+		if cap(p.succbuf) < workers {
+			p.succbuf = make([]uint64, workers)
+		}
+		succs := p.succbuf[:workers]
 		for w := 0; w < workers; w++ {
 			lo := w * len(chunk) / workers
 			hi := (w + 1) * len(chunk) / workers
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				succs[w] = visit(lo, hi)
-			}(w, lo, hi)
+			p.wg.Add(1)
+			go p.visitWorker(chunk, dts, nk, lo, hi, &succs[w])
 		}
-		wg.Wait()
+		p.wg.Wait()
 		for _, succ := range succs {
 			p.successes += succ
 		}
@@ -203,6 +194,52 @@ func (p *PNDCA) sweepChunk(chunk []int32) {
 		dt += d
 	}
 	p.time += dt
+}
+
+// visit trials the sites chunk[lo:hi], writing each site's clock
+// increment into its dts slot and returning the executed-reaction
+// count. The non-overlap rule makes concurrent invocations over
+// disjoint ranges race-free.
+func (p *PNDCA) visit(chunk []int32, dts []float64, nk float64, lo, hi int) (succ uint64) {
+	var st rng.Source
+	for i, s := range chunk[lo:hi] {
+		p.sweepBase.SplitInto(&st, uint64(s))
+		rt := p.cm.PickType(st.Float64())
+		if p.cm.TryExecute(p.cells, rt, int(s)) {
+			succ++
+		}
+		if p.DeterministicTime {
+			dts[lo+i] = 1 / nk
+		} else {
+			dts[lo+i] = st.Exp(nk)
+		}
+	}
+	return
+}
+
+func (p *PNDCA) visitWorker(chunk []int32, dts []float64, nk float64, lo, hi int, out *uint64) {
+	defer p.wg.Done()
+	*out = p.visit(chunk, dts, nk, lo, hi)
+}
+
+// Reset rewinds the engine over a fresh configuration (see
+// registry.Engine.Reset). The partition (and any UsePartitions cycle)
+// is kept; the chunk permutation returns to the identity a fresh
+// engine starts from, and the sweep stream counter rewinds so replica
+// trajectories reproduce fresh builds exactly.
+func (p *PNDCA) Reset(cfg *lattice.Config, src *rng.Source) {
+	if !cfg.Lattice().SameShape(p.cm.Lat) {
+		panic("core: Reset configuration lattice differs from compiled lattice")
+	}
+	p.cfg, p.cells, p.src = cfg, cfg.Cells(), src
+	p.time = 0
+	p.sweep, p.steps, p.successes = 0, 0, 0
+	if len(p.perm) != p.part.NumChunks() {
+		p.perm = make([]int, p.part.NumChunks())
+	}
+	for i := range p.perm {
+		p.perm[i] = i
+	}
 }
 
 // Time returns the simulated time.

@@ -36,16 +36,33 @@ func newRateTracker(cm *model.Compiled, cells []lattice.Species, part *partition
 		n:       n,
 		weights: fenwick.New(part.NumChunks()),
 	}
-	for rt := 0; rt < cm.NumTypes(); rt++ {
-		for s := 0; s < n; s++ {
-			if cm.Enabled(cells, rt, s) {
+	t.scan()
+	return t
+}
+
+// scan populates the bitset and chunk weights from a full lattice scan.
+// The caller guarantees both are zeroed; the Add order (types
+// ascending, sites ascending) matches construction, so a reset tracker
+// reproduces a fresh one's float state exactly.
+func (t *rateTracker) scan() {
+	for rt := 0; rt < t.cm.NumTypes(); rt++ {
+		for s := 0; s < t.n; s++ {
+			if t.cm.Enabled(t.cells, rt, s) {
 				w, m := t.bit(rt, s)
 				t.enabled[w] |= m
-				t.weights.Add(part.ChunkOf(s), cm.Types[rt].Rate)
+				t.weights.Add(t.part.ChunkOf(s), t.cm.Types[rt].Rate)
 			}
 		}
 	}
-	return t
+}
+
+// reset re-derives the tracker from a fresh cell slice, reusing the
+// bitset and the weight tree allocations.
+func (t *rateTracker) reset(cells []lattice.Species) {
+	t.cells = cells
+	clear(t.enabled)
+	t.weights.Reset()
+	t.scan()
 }
 
 // bit locates the enabledness bit of (rt, s) in the packed bitset.

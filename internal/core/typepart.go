@@ -53,6 +53,14 @@ type TypePartitioned struct {
 	visits    uint64
 	successes uint64
 	dtbuf     []float64 // per-site clock increments of one sweep
+	// sweepBase/succbuf/wg are reused across sweeps (see PNDCA) so the
+	// steady-state sweep allocates nothing.
+	sweepBase rng.Source
+	accept    float64 // clamped Accept of the sweep in flight
+	nk        float64
+	sweepRT   int
+	succbuf   []uint64
+	wg        sync.WaitGroup
 }
 
 // NewTypePartitioned builds the engine from a verified type split (call
@@ -107,14 +115,16 @@ func (e *TypePartitioned) Step() bool {
 // sweepType attempts reaction type rt at every site of the chunk.
 func (e *TypePartitioned) sweepType(rt int, chunk []int32) {
 	e.sweepID++
-	base := e.src.Split(e.sweepID)
+	e.src.SplitInto(&e.sweepBase, e.sweepID)
+	e.sweepRT = rt
 	accept := e.Accept
 	if accept <= 0 || accept > 1 {
 		accept = 1
 	}
+	e.accept = accept
 	// Thinning slows the clock so the per-site execution rate stays
 	// calibrated: visits per unit time scale by 1/accept.
-	nk := float64(e.cm.Lat.N()) * e.cm.K / accept
+	e.nk = float64(e.cm.Lat.N()) * e.cm.K / accept
 
 	// Per-site clock increments are recorded into slots and summed in
 	// chunk order afterwards, so the clock (not just the configuration)
@@ -125,23 +135,6 @@ func (e *TypePartitioned) sweepType(rt int, chunk []int32) {
 	}
 	dts := e.dtbuf[:len(chunk)]
 
-	visit := func(lo, hi int) (succ uint64) {
-		for i, s := range chunk[lo:hi] {
-			st := base.Split(uint64(s))
-			if accept >= 1 || st.Float64() < accept {
-				if e.cm.TryExecute(e.cells, rt, int(s)) {
-					succ++
-				}
-			}
-			if e.DeterministicTime {
-				dts[lo+i] = 1 / nk
-			} else {
-				dts[lo+i] = st.Exp(nk)
-			}
-		}
-		return
-	}
-
 	workers := e.Workers
 	if workers < 1 {
 		workers = 1
@@ -150,20 +143,19 @@ func (e *TypePartitioned) sweepType(rt int, chunk []int32) {
 		workers = len(chunk)
 	}
 	if workers == 1 {
-		e.successes += visit(0, len(chunk))
+		e.successes += e.visit(chunk, dts, 0, len(chunk))
 	} else {
-		succs := make([]uint64, workers)
-		var wg sync.WaitGroup
+		if cap(e.succbuf) < workers {
+			e.succbuf = make([]uint64, workers)
+		}
+		succs := e.succbuf[:workers]
 		for w := 0; w < workers; w++ {
 			lo := w * len(chunk) / workers
 			hi := (w + 1) * len(chunk) / workers
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				succs[w] = visit(lo, hi)
-			}(w, lo, hi)
+			e.wg.Add(1)
+			go e.visitWorker(chunk, dts, lo, hi, &succs[w])
 		}
-		wg.Wait()
+		e.wg.Wait()
 		for _, succ := range succs {
 			e.successes += succ
 		}
@@ -174,6 +166,45 @@ func (e *TypePartitioned) sweepType(rt int, chunk []int32) {
 	}
 	e.time += dt
 	e.visits += uint64(len(chunk))
+}
+
+// visit attempts the sweep's reaction type at the sites chunk[lo:hi],
+// recording clock increments into dts; invocations over disjoint
+// ranges are race-free under the per-type non-overlap rule.
+func (e *TypePartitioned) visit(chunk []int32, dts []float64, lo, hi int) (succ uint64) {
+	var st rng.Source
+	for i, s := range chunk[lo:hi] {
+		e.sweepBase.SplitInto(&st, uint64(s))
+		if e.accept >= 1 || st.Float64() < e.accept {
+			if e.cm.TryExecute(e.cells, e.sweepRT, int(s)) {
+				succ++
+			}
+		}
+		if e.DeterministicTime {
+			dts[lo+i] = 1 / e.nk
+		} else {
+			dts[lo+i] = st.Exp(e.nk)
+		}
+	}
+	return
+}
+
+func (e *TypePartitioned) visitWorker(chunk []int32, dts []float64, lo, hi int, out *uint64) {
+	defer e.wg.Done()
+	*out = e.visit(chunk, dts, lo, hi)
+}
+
+// Reset rewinds the engine over a fresh configuration (see
+// registry.Engine.Reset). The type split and its cumulative-rate
+// tables depend only on the model, so they are kept; the sweep stream
+// counter rewinds so trajectories reproduce fresh builds exactly.
+func (e *TypePartitioned) Reset(cfg *lattice.Config, src *rng.Source) {
+	if !cfg.Lattice().SameShape(e.cm.Lat) {
+		panic("core: Reset configuration lattice differs from compiled lattice")
+	}
+	e.cfg, e.cells, e.src = cfg, cfg.Cells(), src
+	e.time = 0
+	e.sweepID, e.steps, e.visits, e.successes = 0, 0, 0, 0
 }
 
 // Time returns the simulated time.

@@ -21,6 +21,7 @@ type FRM struct {
 	time  float64
 
 	queue          *eventq.Queue
+	n              int // cached lattice size (key arithmetic)
 	changedScratch []int
 	events         uint64
 	// scheduled[rt] counts the queued instances of each reaction type.
@@ -28,6 +29,10 @@ type FRM struct {
 	// O(types)) carries no floating-point drift no matter how long the
 	// run — unlike a float accumulator of interleaved signed adds.
 	scheduled []int64
+
+	// expBuf and siteBuf are the batching scratch of scheduleAll.
+	expBuf  []float64
+	siteBuf []int32
 }
 
 // NewFRM builds the engine and schedules all initially enabled
@@ -39,30 +44,76 @@ func NewFRM(cm *model.Compiled, cfg *lattice.Config, src *rng.Source) *FRM {
 	n := cm.Lat.N()
 	f := &FRM{cm: cm, cfg: cfg, cells: cfg.Cells(), src: src,
 		queue:     eventq.New(cm.NumTypes() * n),
+		n:         n,
 		scheduled: make([]int64, cm.NumTypes())}
-	for rt := 0; rt < cm.NumTypes(); rt++ {
-		for s := 0; s < n; s++ {
-			if cm.Enabled(f.cells, rt, s) {
-				f.queue.Schedule(f.key(rt, s), f.time+src.Exp(cm.Types[rt].Rate))
-				f.scheduled[rt]++
-			}
-		}
-	}
+	f.scheduleAll()
 	return f
 }
 
+// scheduleAll scans the lattice and schedules every enabled instance.
+// Per reaction type the enabled sites are collected first (the scan
+// consumes no randomness), then their waiting times come from one
+// FillExp batch — the same draw sequence, bit for bit, as one Exp call
+// per enabled site in (type ascending, site ascending) order, at a
+// fraction of the per-call cost. This is the dominant share of FRM's
+// per-replica setup, paid by NewFRM and again by every Reset.
+func (f *FRM) scheduleAll() {
+	n := f.n
+	for rt := 0; rt < f.cm.NumTypes(); rt++ {
+		f.siteBuf = f.siteBuf[:0]
+		for s := 0; s < n; s++ {
+			if f.cm.Enabled(f.cells, rt, s) {
+				f.siteBuf = append(f.siteBuf, int32(s))
+			}
+		}
+		k := len(f.siteBuf)
+		if k == 0 {
+			continue
+		}
+		if cap(f.expBuf) < k {
+			f.expBuf = make([]float64, k)
+		}
+		waits := f.expBuf[:k]
+		f.src.FillExp(waits, f.cm.Types[rt].Rate)
+		for i, s := range f.siteBuf {
+			f.queue.Schedule(f.key(rt, int(s)), f.time+waits[i])
+		}
+		f.scheduled[rt] += int64(k)
+	}
+}
+
+// Reset rewinds the engine over a fresh configuration (see
+// registry.Engine.Reset): the event queue is emptied in place (keeping
+// its O(types·N) position index), the per-type instance counts are
+// zeroed, and the initial schedule re-runs against cfg drawing from
+// src.
+func (f *FRM) Reset(cfg *lattice.Config, src *rng.Source) {
+	if !cfg.Lattice().SameShape(f.cm.Lat) {
+		panic("dmc: Reset configuration lattice differs from compiled lattice")
+	}
+	f.cfg, f.cells, f.src = cfg, cfg.Cells(), src
+	f.time = 0
+	f.events = 0
+	f.queue.Reset()
+	clear(f.scheduled)
+	f.scheduleAll()
+}
+
 func (f *FRM) key(rt, s int) int64 {
-	return int64(rt)*int64(f.cm.Lat.N()) + int64(s)
+	return int64(rt)*int64(f.n) + int64(s)
 }
 
 func (f *FRM) unkey(k int64) (rt, s int) {
-	n := int64(f.cm.Lat.N())
+	n := int64(f.n)
 	return int(k / n), int(k % n)
 }
 
 // refresh synchronises the queue entry for (rt, s) with the current
 // state: schedule newly enabled instances, cancel disabled ones, keep
-// still-enabled ones untouched (memorylessness).
+// still-enabled ones untouched (memorylessness). The post-execution
+// bursts are a handful of instances, too small for batched draws to
+// beat the per-call Exp (measured; the full-lattice scheduleAll is
+// where batching pays), so the hot path keeps the single draws.
 func (f *FRM) refresh(rt, s int) {
 	k := f.key(rt, s)
 	if f.cm.Enabled(f.cells, rt, s) {

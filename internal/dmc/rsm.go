@@ -49,6 +49,20 @@ func NewRSM(cm *model.Compiled, cfg *lattice.Config, src *rng.Source) *RSM {
 	return &RSM{cm: cm, cfg: cfg, cells: cfg.Cells(), batch: rng.NewBatch(src)}
 }
 
+// Reset rewinds the engine to a fresh start over cfg, drawing from src
+// (see registry.Engine.Reset): clock and counters return to zero and
+// the batch reader is rewound in place, so a reset RSM reproduces a
+// freshly constructed one bit for bit without reallocating.
+func (r *RSM) Reset(cfg *lattice.Config, src *rng.Source) {
+	if !cfg.Lattice().SameShape(r.cm.Lat) {
+		panic("dmc: Reset configuration lattice differs from compiled lattice")
+	}
+	r.cfg, r.cells = cfg, cfg.Cells()
+	r.batch.Reset(src)
+	r.time = 0
+	r.steps, r.trials, r.successes = 0, 0, 0
+}
+
 // minDrawsPerTrial is the guaranteed lower bound on raw RNG draws one
 // trial consumes (site + type, plus the waiting time unless the clock is
 // deterministic); the site draw may take more under Lemire rejection.

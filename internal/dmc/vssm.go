@@ -53,14 +53,43 @@ func NewVSSM(cm *model.Compiled, cfg *lattice.Config, src *rng.Source) *VSSM {
 	for rt := range v.enabled {
 		v.pos[rt] = make([]int32, n)
 	}
-	for rt := 0; rt < cm.NumTypes(); rt++ {
+	v.scanEnabled()
+	return v
+}
+
+// scanEnabled populates the enabled sets and the type-rate tree from a
+// full lattice scan. The caller guarantees the sets and the tree are
+// empty; the insert order (types ascending, sites ascending) performs
+// the same Fenwick additions as construction, so Reset reproduces the
+// constructor's float state exactly.
+func (v *VSSM) scanEnabled() {
+	n := v.cm.Lat.N()
+	for rt := 0; rt < v.cm.NumTypes(); rt++ {
 		for s := 0; s < n; s++ {
-			if cm.Enabled(v.cells, rt, s) {
+			if v.cm.Enabled(v.cells, rt, s) {
 				v.insert(rt, s)
 			}
 		}
 	}
-	return v
+}
+
+// Reset rewinds the engine over a fresh configuration (see
+// registry.Engine.Reset): enabled lists are truncated in place, the
+// position index and rate tree are zeroed, and the initial scan re-runs
+// — no per-type slice or tree is reallocated.
+func (v *VSSM) Reset(cfg *lattice.Config, src *rng.Source) {
+	if !cfg.Lattice().SameShape(v.cm.Lat) {
+		panic("dmc: Reset configuration lattice differs from compiled lattice")
+	}
+	v.cfg, v.cells, v.src = cfg, cfg.Cells(), src
+	v.time = 0
+	v.events = 0
+	v.typeRates.Reset()
+	for rt := range v.enabled {
+		v.enabled[rt] = v.enabled[rt][:0]
+		clear(v.pos[rt])
+	}
+	v.scanEnabled()
 }
 
 // insert appends site s to rt's enabled list and adds its rate. The

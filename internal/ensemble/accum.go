@@ -28,6 +28,10 @@ type Accumulator struct {
 	// advanced is closed (and replaced) whenever the commit frontier
 	// moves, waking Adds blocked on the window.
 	advanced chan struct{}
+	// release, when set, receives each member's values right after they
+	// commit into the moments; the accumulator never reads them again,
+	// so the callback may recycle the buffers.
+	release func(values [][]float64)
 }
 
 // NewAccumulator returns an accumulator over a vars × points grid with
@@ -43,6 +47,17 @@ func NewAccumulator(vars, points, window int) *Accumulator {
 		pending:  make(map[int][][]float64),
 		advanced: make(chan struct{}),
 	}
+}
+
+// SetRelease registers fn to receive each member's values once they
+// have committed into the moments. A member's buffers are read between
+// its Add and its commit (which can happen during a later member's Add,
+// on that member's goroutine), never after fn sees them — fn may
+// therefore return them to a pool. The callback runs with the
+// accumulator's lock held, so it must be cheap and must not call back
+// into the accumulator. Set it before the first Add.
+func (a *Accumulator) SetRelease(fn func(values [][]float64)) {
+	a.release = fn
 }
 
 // Add records member i's samples (vars rows of points values each).
@@ -79,6 +94,9 @@ func (a *Accumulator) Add(ctx context.Context, member int, values [][]float64) e
 		}
 		delete(a.pending, a.next)
 		a.moments.AddMember(v)
+		if a.release != nil {
+			a.release(v)
+		}
 		a.next++
 		committed = true
 	}

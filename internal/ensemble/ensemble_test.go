@@ -223,3 +223,33 @@ func TestRunLateCancellationKeepsResult(t *testing.T) {
 		t.Fatalf("Run returned %v after every job succeeded", err)
 	}
 }
+
+// The release hook fires exactly once per member, in commit (member)
+// order, no matter how out of order the Adds arrive — the contract the
+// parsurf sample-buffer pool recycles on.
+func TestAccumulatorReleaseFiresOnCommit(t *testing.T) {
+	const vars, points, members = 2, 3, 5
+	acc := NewAccumulator(vars, points, members)
+	buffers := make([][][]float64, members)
+	for m := range buffers {
+		buffers[m] = memberValues(m, vars, points)
+	}
+	var released [][][]float64
+	acc.SetRelease(func(v [][]float64) { released = append(released, v) })
+
+	for _, m := range []int{2, 0, 4, 3, 1} {
+		mustAdd(t, acc, m, buffers[m])
+	}
+	if len(released) != members {
+		t.Fatalf("release fired %d times, want %d", len(released), members)
+	}
+	for m, v := range released {
+		if &v[0][0] != &buffers[m][0][0] {
+			t.Errorf("release %d did not hand back member %d's buffer", m, m)
+		}
+	}
+	mean, _ := acc.MeanStd()
+	if len(mean) != vars || len(mean[0]) != points {
+		t.Fatalf("MeanStd shape %dx%d after releases", len(mean), len(mean[0]))
+	}
+}

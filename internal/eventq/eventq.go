@@ -36,15 +36,31 @@ func New(keySpace int) *Queue {
 // KeySpace returns the exclusive upper bound on keys.
 func (q *Queue) KeySpace() int { return len(q.pos) }
 
+// Reset empties the queue, keeping the heap's capacity and the position
+// index allocation — the queue behaves as freshly constructed. Engine
+// Reset uses it to rewind FRM without reallocating the O(keySpace)
+// index.
+func (q *Queue) Reset() {
+	for _, ev := range q.heap {
+		q.pos[ev.Key] = 0
+	}
+	q.heap = q.heap[:0]
+}
+
 // Len returns the number of scheduled events.
 func (q *Queue) Len() int { return len(q.heap) }
 
 // Schedule inserts an event, or reschedules the existing event with the
-// same key to the new time.
+// same key to the new time. Rescheduling to the exact time already held
+// is a no-op: the heap property cannot have changed, so the sift is
+// skipped entirely.
 func (q *Queue) Schedule(key int64, time float64) {
 	if p := q.pos[key]; p != 0 {
 		i := int(p - 1)
 		old := q.heap[i].Time
+		if time == old {
+			return
+		}
 		q.heap[i].Time = time
 		if time < old {
 			q.up(i)

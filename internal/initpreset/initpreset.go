@@ -95,6 +95,33 @@ func Build(name string, p Params) (Func, error) {
 	return fn, nil
 }
 
+// randomize assigns each site an independent draw from the weights —
+// the same per-site arithmetic as Config.Randomize (one uniform per
+// site, u·total against the running prefix sum), bit for bit, but
+// taking the source directly: Config.Randomize's func parameter would
+// force a bound-method allocation per application, and preset
+// application sits on the per-replica Session.Reset path that must
+// stay allocation-free. The caller (the "random" builder) has already
+// validated the weights.
+func randomize(cfg *lattice.Config, weights []float64, src *rng.Source) {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	cells := cfg.Cells()
+	for i := range cells {
+		u := src.Float64() * total
+		acc := 0.0
+		for sp, w := range weights {
+			acc += w
+			if u < acc {
+				cells[i] = lattice.Species(sp)
+				break
+			}
+		}
+	}
+}
+
 // checkSpecies validates explicit species values: they must fit the
 // lattice.Species storage. Whether a value is meaningful for the
 // session's model is the model's business, exactly as with Config.Set.
@@ -161,7 +188,7 @@ func init() {
 			}
 			weights := append([]float64(nil), p.Fractions...)
 			return func(cfg *lattice.Config, src *rng.Source) {
-				cfg.Randomize(weights, src.Float64)
+				randomize(cfg, weights, src)
 			}, nil
 		},
 	})

@@ -9,9 +9,14 @@
 //
 // Every run goes through parsurf.RunSweep, so a job inherits the
 // ensemble machinery wholesale: replicas on split RNG streams merged
-// bit-identically for any worker count, and first-error/cancel
-// semantics — cancelling a job cancels its context, which aborts every
-// replica within one engine step.
+// bit-identically for any worker count, first-error/cancel semantics —
+// cancelling a job cancels its context, which aborts every replica
+// within one engine step — and the replica pool: each variant's model
+// arena is compiled once per spec, each worker builds one session and
+// runs successive replica indices through Session.Reset, and sample
+// grids recycle through the streaming merge, so a job's steady-state
+// per-replica allocation cost is near zero no matter how many replicas
+// it fans out.
 package job
 
 import (

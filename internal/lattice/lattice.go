@@ -194,7 +194,18 @@ func (c *Config) Coverage(sp Species) float64 {
 // CountAll returns a histogram of species occupancy indexed by species
 // value, sized to hold the largest species present.
 func (c *Config) CountAll(numSpecies int) []int {
-	counts := make([]int, numSpecies)
+	return c.CountInto(make([]int, numSpecies))
+}
+
+// CountInto tallies species occupancy into counts (zeroing it first)
+// and returns it, grown only when a species value exceeds its length —
+// the allocation-free form of CountAll for samplers that observe the
+// same configuration repeatedly (the ensemble replica runner calls it
+// once per grid point).
+func (c *Config) CountInto(counts []int) []int {
+	for i := range counts {
+		counts[i] = 0
+	}
 	for _, v := range c.cells {
 		if int(v) >= len(counts) {
 			grown := make([]int, int(v)+1)

@@ -20,7 +20,14 @@ import (
 //     (depStart/depRT/depSite), so the VSSM/FRM/tracker bookkeeping
 //     after an executed reaction is a closure-free slice scan.
 //
-// It is shared by all engines (DMC and CA).
+// A Compiled is immutable after Compile returns: no method writes to
+// the arena, the CSR tables, or the per-type arrays, and the slices
+// DepPairs hands out alias the shared tables read-only. It is therefore
+// safe to share one Compiled across any number of engines and
+// goroutines — SessionSpec compiles once per spec and every session,
+// ensemble replica and job worker reads the same tables (covered by
+// the -race replica tests). Anything mutable lives in the engines, in
+// the Config, or in per-call scratch the caller owns.
 type Compiled struct {
 	Model *Model
 	Lat   *lattice.Lattice

@@ -47,6 +47,29 @@ type DDRSM struct {
 	deferred  uint64
 	barriers  uint64
 	steps     uint64
+
+	// Per-step scratch, reused so the steady-state step allocates
+	// nothing: the per-step base stream, one worker record per strip
+	// (each with its own derived stream and deferred-trial buffer), the
+	// merged deferral list, and the step barrier.
+	stepBase    rng.Source
+	workers     []stripWorker
+	runFns      []func() // bound worker method values, allocated once
+	allDeferred []deferredTrial
+	wg          sync.WaitGroup
+}
+
+// stripWorker is one strip's per-step state. The strip goroutine writes
+// only its own record; the sequential merge phase reads them in strip
+// order after the barrier.
+type stripWorker struct {
+	d              *DDRSM
+	idx            int
+	stream         rng.Source
+	deferredTrials []deferredTrial
+	successes      uint64
+	trials         uint64
+	dt             float64
 }
 
 type strip struct {
@@ -79,7 +102,39 @@ func NewDDRSM(cm *model.Compiled, cfg *lattice.Config, src *rng.Source, p int) (
 		hi := (w + 1) * rows / p
 		d.strips = append(d.strips, strip{loRow: lo, hiRow: hi, sites: (hi - lo) * cm.Lat.L0})
 	}
+	d.workers = make([]stripWorker, p)
+	// Deferred trials land in the 2·radius boundary rows of each strip,
+	// so a step defers about 2·radius·L0 trials per strip on average
+	// (binomial, sd ≈ √mean). Presizing the buffers at 4× the mean puts
+	// the capacity tens of standard deviations above any count a run
+	// will ever see, so the steady-state step allocates nothing.
+	band := 4 * 2 * radius * cm.Lat.L0
+	d.runFns = make([]func(), p)
+	for w := range d.workers {
+		d.workers[w].d = d
+		d.workers[w].idx = w
+		d.workers[w].deferredTrials = make([]deferredTrial, 0, band)
+		// Bind the method value once: `go d.runFns[w]()` then passes a
+		// zero-argument funcval to the scheduler, where a direct
+		// `go d.workers[w].run()` would heap-allocate a wrapper
+		// closure on every launch.
+		d.runFns[w] = d.workers[w].run
+	}
+	d.allDeferred = make([]deferredTrial, 0, band*p)
 	return d, nil
+}
+
+// Reset rewinds the engine over a fresh configuration (see
+// registry.Engine.Reset). The strip decomposition is kept; the step
+// counter rewinds, which also rewinds the per-step derived stream ids,
+// so a reset engine reproduces a fresh one's trajectory exactly.
+func (d *DDRSM) Reset(cfg *lattice.Config, src *rng.Source) {
+	if !cfg.Lattice().SameShape(d.cm.Lat) {
+		panic("parallel: Reset configuration lattice differs from compiled lattice")
+	}
+	d.cfg, d.cells, d.src = cfg, cfg.Cells(), src
+	d.time = 0
+	d.trials, d.successes, d.deferred, d.barriers, d.steps = 0, 0, 0, 0, 0
 }
 
 // Workers returns the number of strips.
@@ -96,69 +151,35 @@ func (d *DDRSM) interior(st strip, s int) bool {
 // Step performs one windowed MC step.
 func (d *DDRSM) Step() bool {
 	p := len(d.strips)
-	n := d.cm.Lat.N()
-	nk := float64(n) * d.cm.K
 
 	// Per-step derived streams make the outcome independent of
 	// goroutine scheduling.
 	d.steps++
-	stepBase := d.src.Split(d.steps)
+	d.src.SplitInto(&d.stepBase, d.steps)
 
-	type result struct {
-		deferredTrials []deferredTrial
-		successes      uint64
-		trials         uint64
-		dt             float64
-	}
-	results := make([]result, p)
-	var wg sync.WaitGroup
+	d.wg.Add(p)
 	for w := 0; w < p; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			st := d.strips[w]
-			stream := stepBase.Split(uint64(w))
-			res := &results[w]
-			for i := 0; i < st.sites; i++ {
-				row := st.loRow + stream.Intn(st.hiRow-st.loRow)
-				col := stream.Intn(d.cm.Lat.L0)
-				s := d.cm.Lat.Index(col, row)
-				rt := d.cm.PickType(stream.Float64())
-				res.trials++
-				if d.DeterministicTime {
-					res.dt += 1 / nk
-				} else {
-					res.dt += stream.Exp(nk)
-				}
-				if d.interior(st, s) {
-					// Interior trials touch only this strip's rows, so
-					// concurrent execution cannot race with the other
-					// strips.
-					if d.cm.TryExecute(d.cells, rt, s) {
-						res.successes++
-					}
-				} else {
-					res.deferredTrials = append(res.deferredTrials, deferredTrial{site: s, rt: rt})
-				}
-			}
-		}(w)
+		go d.runFns[w]()
 	}
-	wg.Wait() // barrier: all interior work done
+	d.wg.Wait() // barrier: all interior work done
 	d.barriers++
 
 	// Sequential boundary phase. Subtotals merge in strip order so the
 	// floating-point time sum is deterministic (goroutine completion
 	// order must not leak into the clock); the deferred trials are then
 	// re-sorted by (site, rt) — their intra-window order is unspecified
-	// anyway, which is exactly the windowing approximation.
-	var allDeferred []deferredTrial
-	for w := range results {
-		res := &results[w]
-		d.successes += res.successes
-		d.trials += res.trials
-		d.time += res.dt
-		allDeferred = append(allDeferred, res.deferredTrials...)
+	// anyway, which is exactly the windowing approximation. The merge
+	// buffer and every per-strip deferral buffer are struct-held and
+	// reused, so the steady-state step allocates nothing.
+	allDeferred := d.allDeferred[:0]
+	for w := range d.workers {
+		wk := &d.workers[w]
+		d.successes += wk.successes
+		d.trials += wk.trials
+		d.time += wk.dt
+		allDeferred = append(allDeferred, wk.deferredTrials...)
 	}
+	d.allDeferred = allDeferred
 	sortDeferred(allDeferred)
 	for _, tr := range allDeferred {
 		if d.cm.TryExecute(d.cells, tr.rt, tr.site) {
@@ -168,6 +189,39 @@ func (d *DDRSM) Step() bool {
 	d.deferred += uint64(len(allDeferred))
 	d.barriers++
 	return true
+}
+
+// run performs one strip's interior trials for the step in flight. It
+// writes only its own record; interior trials touch only this strip's
+// rows, so concurrent execution cannot race with the other strips.
+func (wk *stripWorker) run() {
+	d := wk.d
+	defer d.wg.Done()
+	st := d.strips[wk.idx]
+	nk := float64(d.cm.Lat.N()) * d.cm.K
+	d.stepBase.SplitInto(&wk.stream, uint64(wk.idx))
+	stream := &wk.stream
+	wk.deferredTrials = wk.deferredTrials[:0]
+	wk.successes, wk.trials, wk.dt = 0, 0, 0
+	for i := 0; i < st.sites; i++ {
+		row := st.loRow + stream.Intn(st.hiRow-st.loRow)
+		col := stream.Intn(d.cm.Lat.L0)
+		s := d.cm.Lat.Index(col, row)
+		rt := d.cm.PickType(stream.Float64())
+		wk.trials++
+		if d.DeterministicTime {
+			wk.dt += 1 / nk
+		} else {
+			wk.dt += stream.Exp(nk)
+		}
+		if d.interior(st, s) {
+			if d.cm.TryExecute(d.cells, rt, s) {
+				wk.successes++
+			}
+		} else {
+			wk.deferredTrials = append(wk.deferredTrials, deferredTrial{site: s, rt: rt})
+		}
+	}
 }
 
 // sortDeferred orders trials by (site, rt) with an insertion sort; the

@@ -49,6 +49,20 @@ type Engine interface {
 	TotalRate() float64
 	// Steps returns the number of completed Step calls.
 	Steps() uint64
+	// Reset rewinds the engine to time zero over a fresh configuration:
+	// the clock and every counter return to their construction values,
+	// all incremental state (enabled sets, event queues, rate trees,
+	// vacancy bitsets, sweep stream counters) is re-derived from cfg,
+	// and all randomness is redirected to src — while every buffer the
+	// constructor allocated (fenwick trees, event-queue slots, CSR
+	// scratch, bitsets, partition sweep slots) is reused in place. The
+	// configured options (partition, workers, block geometry, rates,
+	// deterministic clock, …) are preserved. After Reset the engine's
+	// trajectory is bit-identical to a freshly constructed engine over
+	// the same (cfg, src) — the contract the ensemble replica pool
+	// relies on. It panics when cfg's lattice shape differs from the
+	// engine's.
+	Reset(cfg *lattice.Config, src *rng.Source)
 }
 
 // OptionSet is a bitmask naming the Options fields an engine accepts;

@@ -38,6 +38,15 @@ func NewBatch(src *Source) *Batch {
 	return &Batch{src: src}
 }
 
+// Reset redirects the batch to a fresh source, discarding any
+// prefetched draws and outstanding reservations. After Reset the batch
+// behaves exactly like NewBatch(src) — engine Reset uses it to rewind
+// the RSM trial loop without reallocating the buffer.
+func (b *Batch) Reset(src *Source) {
+	b.src = src
+	b.i, b.n, b.reserved = 0, 0, 0
+}
+
 // Reserve declares that at least k further draws will certainly be
 // consumed, licensing prefetch up to that amount. Reservations
 // accumulate; over-consumption beyond the reserved amount is always

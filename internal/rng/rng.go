@@ -40,6 +40,12 @@ func New(seed uint64) *Source {
 	return &src
 }
 
+// Seed re-initialises the source from the given seed, exactly as New
+// does, without allocating. It makes a zero-value (or exhausted) Source
+// usable in place — the replica pools use it to rewind a per-slot
+// stream instead of constructing a fresh Source per replica.
+func (s *Source) Seed(seed uint64) { s.reseed(seed) }
+
 func (s *Source) reseed(seed uint64) {
 	state := seed
 	s.s0 = splitmix64(&state)
@@ -126,19 +132,29 @@ func (s *Source) FillExp(dst []float64, rate float64) {
 // is deterministic: the same (parent state, id) always yields the same
 // child.
 func (s *Source) Split(id uint64) *Source {
+	child := new(Source)
+	s.SplitInto(child, id)
+	return child
+}
+
+// SplitInto derives the child stream identified by id into dst,
+// overwriting dst's state — the allocation-free form of Split, for hot
+// loops that derive a stream per site or per step (dst is typically a
+// stack variable or a reused struct field). The derivation is
+// identical to Split's: the same (parent state, id) always yields the
+// same child, and the parent is not advanced.
+func (s *Source) SplitInto(dst *Source, id uint64) {
 	// Mix the parent state and the id through splitmix64 to seed the
 	// child. Using the raw state (not an output draw) keeps the parent
 	// sequence untouched.
 	state := s.s0 ^ rotl(s.s2, 13) ^ (id * 0xd1342543de82ef95)
-	var child Source
-	child.s0 = splitmix64(&state)
-	child.s1 = splitmix64(&state)
-	child.s2 = splitmix64(&state)
-	child.s3 = splitmix64(&state)
-	if child.s0|child.s1|child.s2|child.s3 == 0 {
-		child.s3 = 1
+	dst.s0 = splitmix64(&state)
+	dst.s1 = splitmix64(&state)
+	dst.s2 = splitmix64(&state)
+	dst.s3 = splitmix64(&state)
+	if dst.s0|dst.s1|dst.s2|dst.s3 == 0 {
+		dst.s3 = 1
 	}
-	return &child
 }
 
 // Float64 returns a uniform float64 in [0, 1).

@@ -74,6 +74,22 @@ func NewOn(cfg *lattice.Config, src *rng.Source, y float64) *ZGB {
 	return z
 }
 
+// Reset rewinds the simulation over a fresh configuration (see
+// registry.Engine.Reset): counters return to zero, the vacancy bitset
+// and occupancy counts are re-derived from cfg in place, and all
+// randomness redirects to src. The CO fraction Y (and, for the
+// desorption extension, PDes) is preserved. It panics when cfg's
+// lattice shape differs from the engine's.
+func (z *ZGB) Reset(cfg *lattice.Config, src *rng.Source) {
+	if !cfg.Lattice().SameShape(z.lat) {
+		panic("ziff: Reset configuration lattice differs from engine lattice")
+	}
+	z.lat = cfg.Lattice()
+	z.cfg, z.cells, z.src = cfg, cfg.Cells(), src
+	z.steps, z.trials, z.co2 = 0, 0, 0
+	z.ResyncVacancies()
+}
+
 // ResyncVacancies rebuilds the vacancy bitset and count from the
 // configuration. The constructor calls it once; callers that mutate the
 // configuration directly (through Config().Set rather than the

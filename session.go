@@ -257,6 +257,18 @@ type SessionSpec struct {
 	opts     registry.Options
 	seed     uint64
 	init     *specfile.InitRef
+
+	// lat, cm and initFn are resolved once by finish and shared,
+	// read-only, by every session and ensemble replica built from the
+	// spec: the compiled model arena is immutable after Compile, so a
+	// 1000-replica sweep compiles the translation tables and dependency
+	// CSR exactly once instead of once per replica, and the built init
+	// preset (stateless: it reads only its captured parameters and
+	// writes only the config it is handed) is applied without
+	// re-validating or re-building per replica.
+	lat    *Lattice
+	cm     *Compiled
+	initFn initpreset.Func
 }
 
 // SessionOption configures a SessionSpec.
@@ -382,6 +394,7 @@ func (sp *SessionSpec) finish() error {
 		return fmt.Errorf("parsurf: engine %q needs a model (WithModel)", sp.engine)
 	}
 	lat := NewLattice(sp.l0, sp.l1)
+	sp.lat = lat
 	for _, opt := range sp.engOpts {
 		if err := opt(sp.model, lat, &sp.opts); err != nil {
 			return err
@@ -414,9 +427,23 @@ func (sp *SessionSpec) finish() error {
 		sp.opts.TypeSplit = ts
 	}
 	if sp.init != nil {
-		if _, err := initpreset.Build(sp.init.Preset, sp.init.Params()); err != nil {
+		fn, err := initpreset.Build(sp.init.Preset, sp.init.Params())
+		if err != nil {
 			return fmt.Errorf("parsurf: %w", err)
 		}
+		sp.initFn = fn
+	}
+	// Compile once, here: the arena (translation tables, dependency
+	// CSR, cumulative rates) is immutable after Compile, so every
+	// session and replica reads the same tables. This also surfaces
+	// compile errors (e.g. a pattern self-colliding on a too-small
+	// lattice) at NewSpec instead of first build.
+	if sp.model != nil {
+		cm, err := Compile(sp.model, lat)
+		if err != nil {
+			return err
+		}
+		sp.cm = cm
 	}
 	return nil
 }
@@ -574,30 +601,20 @@ func specFromFile(f *specfile.Spec) (*SessionSpec, error) {
 	return sp, nil
 }
 
-// build wires lattice → compile → configuration → init preset → engine
-// around the given engine stream.
+// build wires configuration → init preset → engine around the given
+// engine stream. The lattice and compiled model arena come from the
+// spec (compiled once in finish) and are shared, read-only, by every
+// session built from it.
 func (sp *SessionSpec) build(src *RNG) (*Session, error) {
-	lat := NewLattice(sp.l0, sp.l1)
-	var cm *Compiled
-	if sp.model != nil {
-		var err error
-		if cm, err = Compile(sp.model, lat); err != nil {
-			return nil, err
-		}
+	cfg := NewConfig(sp.lat)
+	if sp.initFn != nil {
+		sp.initFn(cfg, src.Split(initStreamID))
 	}
-	cfg := NewConfig(lat)
-	if sp.init != nil {
-		fn, err := initpreset.Build(sp.init.Preset, sp.init.Params())
-		if err != nil {
-			return nil, fmt.Errorf("parsurf: %w", err)
-		}
-		fn(cfg, src.Split(initStreamID))
-	}
-	eng, err := registry.New(sp.engine, cm, cfg, src, sp.opts)
+	eng, err := registry.New(sp.engine, sp.cm, cfg, src, sp.opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{spec: sp, lat: lat, cm: cm, cfg: cfg, eng: eng}, nil
+	return &Session{spec: sp, lat: sp.lat, cm: sp.cm, cfg: cfg, eng: eng}, nil
 }
 
 // Session is one wired simulation: a lattice, a compiled model (when
@@ -608,6 +625,28 @@ type Session struct {
 	cm   *Compiled
 	cfg  *Config
 	eng  Engine
+	// initSrc is stable storage for the init-preset stream derived on
+	// every Reset, so rewinding a pooled session allocates nothing.
+	initSrc RNG
+}
+
+// Reset rewinds the session for replica reuse instead of rebuilding
+// it: the configuration is cleared and re-initialised from the spec's
+// init preset (drawing from src's split init stream, exactly as a
+// fresh build does) and the engine is Reset over it, rewinding its
+// clock, counters and incremental state while keeping every allocated
+// buffer. After Reset the session's trajectory is bit-identical to
+// spec.Session() built around the same stream — the ensemble runner
+// uses this to run successive replica indices through one pooled
+// session per worker. The session's lattice and compiled arena are
+// untouched (they are immutable and shared with the spec).
+func (s *Session) Reset(src *RNG) {
+	s.cfg.Fill(0)
+	if s.spec.initFn != nil {
+		src.SplitInto(&s.initSrc, initStreamID)
+		s.spec.initFn(s.cfg, &s.initSrc)
+	}
+	s.eng.Reset(s.cfg, src)
 }
 
 // NewSession builds a session in one call:
