@@ -1,10 +1,17 @@
 // Command surfd serves simulation jobs over HTTP: POST a serialized
 // session spec (the same JSON `surfsim -spec` runs), poll its status,
-// fetch the merged coverage series as JSON or CSV, cancel it. The
-// library is the executor; any client that can speak JSON can drive
-// the paper's whole comparison matrix without writing Go.
+// stream its progress as SSE, fetch the merged coverage series as JSON
+// or CSV, cancel it. The library is the executor; any client that can
+// speak JSON can drive the paper's whole comparison matrix without
+// writing Go.
 //
-//	surfd -addr :8080 -runners 2
+// With -data, surfd is durable: jobs persist before acknowledgment in
+// a content-addressed store under the data directory, completed
+// results survive restarts, interrupted jobs are re-queued on boot,
+// and a resubmission of an already-computed workload is answered from
+// the result cache without re-simulating.
+//
+//	surfd -addr :8080 -runners 2 -data /var/lib/surfd
 //
 //	curl -s localhost:8080/jobs -d '{
 //	  "spec": {
@@ -15,6 +22,7 @@
 //	  "replicas": 8, "workers": 4, "until": 50, "every": 0.5
 //	}'
 //	curl -s localhost:8080/jobs/job-1
+//	curl -sN localhost:8080/jobs/job-1/events
 //	curl -s localhost:8080/jobs/job-1/result?format=csv
 //	curl -s -X POST localhost:8080/jobs/job-1/cancel
 package main
@@ -33,28 +41,50 @@ import (
 	"time"
 
 	"parsurf/internal/job"
+	"parsurf/internal/store"
 )
+
+// buildVersion is the default stamp GET /version reports; override at
+// link time (-ldflags "-X main.buildVersion=v1.2.3") or at startup
+// with -version.
+var buildVersion = "dev"
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		runners   = flag.Int("runners", 2, "concurrent jobs (each fans replicas over its own workers)")
 		backlog   = flag.Int("backlog", job.DefaultBacklog, "queued-job capacity")
+		dataDir   = flag.String("data", "", "durable data directory (empty: in-memory only; set it and jobs, results and the result cache survive restarts)")
+		version   = flag.String("version", buildVersion, "version stamp echoed by GET /version")
 		withPprof = flag.Bool("pprof", false, "serve Go runtime profiles under /debug/pprof/ (opt-in: profiles expose internals, keep off on untrusted networks)")
 	)
 	flag.Parse()
-	if err := serve(*addr, *runners, *backlog, *withPprof); err != nil {
+	if err := serve(*addr, *runners, *backlog, *dataDir, *version, *withPprof); err != nil {
 		fmt.Fprintln(os.Stderr, "surfd:", err)
 		os.Exit(1)
 	}
 }
 
-func serve(addr string, runners, backlog int, withPprof bool) error {
+func serve(addr string, runners, backlog int, dataDir, version string, withPprof bool) error {
 	if runners < 1 {
 		runners = max(1, runtime.NumCPU()/2)
 	}
-	mgr := job.NewManager(runners, backlog)
-	var handler http.Handler = job.NewServer(mgr)
+	var mgr *job.Manager
+	if dataDir != "" {
+		st, err := store.OpenFS(dataDir)
+		if err != nil {
+			return err
+		}
+		mgr, err = job.NewManagerWithStore(runners, backlog, st)
+		if err != nil {
+			return fmt.Errorf("recovering %s: %w", dataDir, err)
+		}
+	} else {
+		mgr = job.NewManager(runners, backlog)
+	}
+	api := job.NewServer(mgr)
+	api.SetVersion(version)
+	var handler http.Handler = api
 	if withPprof {
 		// Mount the profile endpoints beside the job API on an explicit
 		// mux (the job server stays the fallback for everything else) —
@@ -75,7 +105,11 @@ func serve(addr string, runners, backlog int, withPprof bool) error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "surfd: listening on %s (%d runners)\n", addr, runners)
+		durable := "in-memory"
+		if dataDir != "" {
+			durable = "data " + dataDir
+		}
+		fmt.Fprintf(os.Stderr, "surfd: listening on %s (%d runners, %s)\n", addr, runners, durable)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -89,7 +123,11 @@ func serve(addr string, runners, backlog int, withPprof bool) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	err := srv.Shutdown(shutdownCtx)
-	mgr.Close() // cancels running jobs; replicas abort within one step
+	// Close cancels running jobs (replicas abort within one engine
+	// step) and, in durable mode, leaves their stored records
+	// resumable: every state transition was fsync'd when it happened,
+	// so the next boot re-queues exactly the interrupted jobs.
+	mgr.Close()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

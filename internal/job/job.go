@@ -17,17 +17,34 @@
 // grids recycle through the streaming merge, so a job's steady-state
 // per-replica allocation cost is near zero no matter how many replicas
 // it fans out.
+//
+// A manager opened with NewManagerWithStore is additionally durable:
+// every lifecycle transition persists a job record before it is
+// acknowledged, completed results persist as content-addressed blobs,
+// and a restart recovers the whole table — completed jobs serve their
+// results from the store, jobs that were queued or running when the
+// process died are re-queued automatically. Because the result key is
+// the SHA-256 of the canonical (spec, run-shape) bytes, the store
+// doubles as a result cache: a resubmission whose hash matches a
+// stored completed result is answered `done` immediately without
+// re-simulating (opt out per submission with Request.NoCache).
 package job
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"parsurf"
+	"parsurf/internal/store"
 )
 
 // State is a job's lifecycle phase.
@@ -69,6 +86,11 @@ type Request struct {
 	Until float64
 	// Every is the sampling interval (required, > 0).
 	Every float64
+	// NoCache opts this submission out of the result cache: the job
+	// runs even when a stored result matches its content hash. The
+	// fresh result still persists when it completes (overwriting an
+	// equal blob — results are deterministic).
+	NoCache bool
 }
 
 // Progress is a point-in-time snapshot of a running job's advancement,
@@ -92,22 +114,41 @@ type Progress struct {
 
 // Status is a snapshot of a job's state, progress and (terminal) error.
 type Status struct {
-	ID       string   `json:"id"`
-	State    State    `json:"state"`
-	Error    string   `json:"error,omitempty"`
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Hash is the content address of the job's (spec, run-shape) bytes;
+	// set only on durable managers. Two jobs with equal hashes compute
+	// equal results.
+	Hash string `json:"hash,omitempty"`
+	// Cached marks a job answered from the result cache without
+	// running (its progress counters stay zero).
+	Cached   bool     `json:"cached,omitempty"`
 	Progress Progress `json:"progress"`
 }
 
 // Job is one submitted workload. All methods are safe for concurrent
 // use.
 type Job struct {
-	id  string
-	req Request
+	id        string
+	seq       int
+	req       Request
+	mgr       *Manager
+	hash      string          // content address; "" on store-less managers
+	rawReq    json.RawMessage // stored request bytes; nil on store-less managers
+	cached    bool
+	submitted time.Time
 
 	ctx    context.Context
 	cancel context.CancelFunc
 
 	gridLen int
+
+	// userCancel distinguishes a cancellation requested through Cancel
+	// from one induced by manager shutdown: the former persists as
+	// cancelled, the latter leaves the stored record resumable so the
+	// next boot re-queues the job.
+	userCancel atomic.Bool
 
 	// Per-replica counters, each written only by its replica's
 	// goroutine at grid points; snapshots read them atomically.
@@ -119,6 +160,7 @@ type Job struct {
 	state  State
 	err    error
 	result []*parsurf.Ensemble
+	res    *store.Result // serializable result; lazily loaded for recovered jobs
 
 	done chan struct{}
 }
@@ -130,6 +172,12 @@ func (j *Job) ID() string { return j.id }
 // read-only).
 func (j *Job) Request() Request { return j.req }
 
+// Hash returns the job's content address ("" on store-less managers).
+func (j *Job) Hash() string { return j.hash }
+
+// Cached reports whether the job was answered from the result cache.
+func (j *Job) Cached() bool { return j.cached }
+
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
@@ -137,10 +185,14 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 // every replica within one engine step (the ensemble first-error/
 // cancel machinery). The job is marked cancelled immediately; its
 // runner is freed as soon as the replicas notice the cancelled
-// context. Safe to call repeatedly and after completion.
+// context. Safe to call repeatedly and after completion — cancelling a
+// terminal job is a no-op.
 func (j *Job) Cancel() {
+	j.userCancel.Store(true)
 	j.cancel()
-	j.setState(StateCancelled, context.Canceled, nil)
+	if j.setState(StateCancelled, context.Canceled, nil) {
+		j.persist(StateCancelled, context.Canceled)
+	}
 }
 
 // Status returns a snapshot of the job.
@@ -148,7 +200,7 @@ func (j *Job) Status() Status {
 	j.mu.Lock()
 	state, err := j.state, j.err
 	j.mu.Unlock()
-	st := Status{ID: j.id, State: state, Progress: j.progress()}
+	st := Status{ID: j.id, State: state, Hash: j.hash, Cached: j.cached, Progress: j.progress()}
 	if err != nil {
 		st.Error = err.Error()
 	}
@@ -157,11 +209,17 @@ func (j *Job) Status() Status {
 
 // Result returns the per-variant ensembles of a completed job. It
 // errors until the job is done (poll Status or wait on Done first).
+// Jobs that did not run in this process — recovered from the store or
+// answered from the result cache — hold their result as data only; use
+// ResultData for those.
 func (j *Job) Result() ([]*parsurf.Ensemble, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch j.state {
 	case StateDone:
+		if j.result == nil {
+			return nil, fmt.Errorf("job: %s holds a stored result, not live ensembles; use ResultData", j.id)
+		}
 		return j.result, nil
 	case StateFailed:
 		return nil, j.err
@@ -170,6 +228,36 @@ func (j *Job) Result() ([]*parsurf.Ensemble, error) {
 	default:
 		return nil, fmt.Errorf("job: %s is %s; no result yet", j.id, j.state)
 	}
+}
+
+// ResultData returns the serializable result of a done job — the form
+// the store persists and the HTTP server serves. Jobs that ran in this
+// process return it from memory; recovered jobs load it from the store
+// on first call.
+func (j *Job) ResultData() (*store.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone:
+	case StateFailed:
+		return nil, j.err
+	case StateCancelled:
+		return nil, fmt.Errorf("job: %s was cancelled", j.id)
+	default:
+		return nil, fmt.Errorf("job: %s is %s; no result yet", j.id, j.state)
+	}
+	if j.res != nil {
+		return j.res, nil
+	}
+	if st := j.mgr.st; st != nil && j.hash != "" {
+		res, err := st.GetResult(j.hash)
+		if err != nil {
+			return nil, fmt.Errorf("job: %s: loading stored result: %w", j.id, err)
+		}
+		j.res = res
+		return res, nil
+	}
+	return nil, fmt.Errorf("job: %s has no stored result", j.id)
 }
 
 // progress assembles the counter snapshot.
@@ -194,6 +282,17 @@ func (j *Job) progress() Progress {
 	return p
 }
 
+// ReplicaTimes returns each replica's simulated-time frontier, straight
+// from the atomic progress slots — the per-replica detail behind
+// Progress.SimTime, streamed out by the SSE endpoint.
+func (j *Job) ReplicaTimes() []float64 {
+	out := make([]float64, len(j.slotTime))
+	for i := range j.slotTime {
+		out[i] = math.Float64frombits(j.slotTime[i].Load())
+	}
+	return out
+}
+
 // observe is the per-replica grid-point hook: it publishes the
 // replica's engine counters. Each (variant, replica) slot is written
 // only from that replica's goroutine.
@@ -205,15 +304,16 @@ func (j *Job) observe(variant, replica int, t float64, sess *parsurf.Session) {
 	j.merged.Add(1)
 }
 
-// setState transitions the job; terminal states close Done and cancel
-// the job context, releasing its registration under the manager
-// context (a completed job would otherwise pin a child context for
-// the life of the server).
-func (j *Job) setState(s State, err error, result []*parsurf.Ensemble) {
+// setState transitions the job, reporting whether the transition took
+// effect (a terminal job never changes again); terminal states close
+// Done and cancel the job context, releasing its registration under
+// the manager context (a completed job would otherwise pin a child
+// context for the life of the server).
+func (j *Job) setState(s State, err error, result []*parsurf.Ensemble) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {
-		return
+		return false
 	}
 	j.state = s
 	j.err = err
@@ -222,6 +322,32 @@ func (j *Job) setState(s State, err error, result []*parsurf.Ensemble) {
 		close(j.done)
 		j.cancel()
 	}
+	return true
+}
+
+// persist writes the job's record with the given state. Mid-flight
+// persistence is best-effort: a transition that cannot be recorded
+// leaves the previous record in place, which recovery treats as
+// resumable — re-running a job is safe (results are deterministic),
+// losing one is not. Submit surfaces its own persistence errors.
+func (j *Job) persist(s State, err error) {
+	st := j.mgr.st
+	if st == nil {
+		return
+	}
+	rec := &store.JobRecord{
+		ID:        j.id,
+		Seq:       j.seq,
+		Hash:      j.hash,
+		State:     string(s),
+		Cached:    j.cached,
+		Submitted: j.submitted.UnixNano(),
+		Request:   j.rawReq,
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	_ = st.PutJob(rec)
 }
 
 // run executes the job on the calling runner goroutine.
@@ -230,32 +356,164 @@ func (j *Job) run() {
 		j.finishErr(j.ctx.Err())
 		return
 	}
-	j.setState(StateRunning, nil, nil)
+	if j.setState(StateRunning, nil, nil) {
+		j.mgr.started.Add(1)
+		j.persist(StateRunning, nil)
+	}
 	ens, err := parsurf.RunSweep(j.ctx, j.req.Specs, j.req.Replicas, j.req.Workers,
 		j.req.Until, j.req.Every, parsurf.ObserveReplicas(j.observe))
 	if err != nil {
 		j.finishErr(err)
 		return
 	}
-	j.setState(StateDone, nil, ens)
+	res := resultData(j.req.Specs, ens)
+	j.mu.Lock()
+	j.res = res
+	j.mu.Unlock()
+	if j.setState(StateDone, nil, ens) {
+		if st := j.mgr.st; st != nil {
+			// Blob before record: a record marked done must find its
+			// blob. If the blob write fails the record stays at
+			// "running", so a restart re-runs the job instead of
+			// serving a done status with no result behind it.
+			if err := st.PutResult(j.hash, res); err != nil {
+				return
+			}
+		}
+		j.persist(StateDone, nil)
+	}
 }
 
 // finishErr classifies a terminal error: a cancellation requested via
-// Cancel (or manager shutdown) is StateCancelled, anything else is a
-// failure.
+// Cancel is StateCancelled and persists as such; a cancellation
+// induced by manager shutdown also lands in StateCancelled in memory,
+// but persists as queued so the next boot resumes the job; anything
+// else is a failure.
 func (j *Job) finishErr(err error) {
 	if errors.Is(err, context.Canceled) {
-		j.setState(StateCancelled, err, nil)
+		if j.setState(StateCancelled, err, nil) {
+			if j.userCancel.Load() {
+				j.persist(StateCancelled, err)
+			} else {
+				j.persist(StateQueued, nil)
+			}
+		}
 		return
 	}
-	j.setState(StateFailed, err, nil)
+	if j.setState(StateFailed, err, nil) {
+		j.persist(StateFailed, err)
+	}
+}
+
+// resultData flattens merged ensembles into the store's serializable
+// result form (species labels, shared grid, mean/std rows).
+func resultData(specs []*parsurf.SessionSpec, ens []*parsurf.Ensemble) *store.Result {
+	res := &store.Result{Variants: make([]store.Variant, len(ens))}
+	for v, e := range ens {
+		vr := store.Variant{
+			Species: specs[v].SpeciesNames(),
+			T:       e.Grid.Times(),
+			Mean:    make([][]float64, len(e.Mean)),
+			Std:     make([][]float64, len(e.Std)),
+		}
+		for sp := range e.Mean {
+			vr.Mean[sp] = e.Mean[sp].X
+			vr.Std[sp] = e.Std[sp].X
+		}
+		res.Variants[v] = vr
+	}
+	return res
+}
+
+// storedRequest is the persisted form of a Request: specs as their
+// canonical JSON documents plus the run shape. NoCache is transient
+// and deliberately not stored.
+type storedRequest struct {
+	Specs    []json.RawMessage `json:"specs"`
+	Replicas int               `json:"replicas"`
+	Workers  int               `json:"workers"`
+	Until    float64           `json:"until"`
+	Every    float64           `json:"every"`
+}
+
+// encodeRequest renders a normalized request in its stored form and
+// computes its content hash. Requests carrying specs that exist only
+// as Go pointers (raw partitions/type splits) cannot be persisted and
+// are rejected — durable mode needs named builders.
+func encodeRequest(req Request) (json.RawMessage, string, error) {
+	specs := make([]json.RawMessage, len(req.Specs))
+	for i, sp := range req.Specs {
+		b, err := json.Marshal(sp)
+		if err != nil {
+			return nil, "", fmt.Errorf("job: spec %d is not serializable (durable mode needs named builders): %w", i, err)
+		}
+		specs[i] = b
+	}
+	raw, err := json.Marshal(storedRequest{
+		Specs:    specs,
+		Replicas: req.Replicas,
+		Workers:  req.Workers,
+		Until:    req.Until,
+		Every:    req.Every,
+	})
+	if err != nil {
+		return nil, "", fmt.Errorf("job: encoding request: %w", err)
+	}
+	return raw, contentHash(specs, req.Replicas, req.Until, req.Every), nil
+}
+
+// decodeRequest rebuilds a runnable Request from its stored form.
+func decodeRequest(raw json.RawMessage) (Request, error) {
+	var sr storedRequest
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		return Request{}, fmt.Errorf("job: decoding stored request: %w", err)
+	}
+	req := Request{
+		Replicas: sr.Replicas,
+		Workers:  sr.Workers,
+		Until:    sr.Until,
+		Every:    sr.Every,
+		Specs:    make([]*parsurf.SessionSpec, len(sr.Specs)),
+	}
+	for i, b := range sr.Specs {
+		sp, err := parsurf.ParseSpec(b)
+		if err != nil {
+			return Request{}, fmt.Errorf("job: stored spec %d: %w", i, err)
+		}
+		req.Specs[i] = sp
+	}
+	return req, nil
+}
+
+// contentHash is the SHA-256 content address of (specs, replicas,
+// until, every). The spec bytes are the byte-fixed-point specfile
+// marshal, so identical workloads hash identically across processes.
+// Workers is deliberately excluded: merged Mean/Std are bit-identical
+// for every worker count, so runs differing only in worker fan-out
+// share one result.
+func contentHash(specs []json.RawMessage, replicas int, until, every float64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "parsurf-job-v1 replicas=%d until=%016x every=%016x\n",
+		replicas, math.Float64bits(until), math.Float64bits(every))
+	for _, b := range specs {
+		fmt.Fprintf(h, "%d:", len(b))
+		h.Write(b)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Manager owns the bounded runner pool and the job table.
 type Manager struct {
+	st store.Store // nil: in-memory only
+
+	// started counts jobs that actually executed (entered RunSweep) —
+	// cache hits never increment it, which is what lets tests and the
+	// CI durability check assert "served from cache" without timing.
+	started atomic.Int64
+
 	mu     sync.Mutex
 	jobs   map[string]*Job
-	order  []string
 	nextID int
 	closed bool
 
@@ -269,11 +527,135 @@ type Manager struct {
 // no explicit backlog.
 const DefaultBacklog = 256
 
-// NewManager starts a manager with the given number of concurrent job
-// runners and queue capacity (DefaultBacklog when backlog <= 0). Each
-// job additionally fans its replicas over its own Request.Workers
-// goroutines, so the peak goroutine budget is runners × workers.
+// NewManager starts an in-memory manager with the given number of
+// concurrent job runners and queue capacity (DefaultBacklog when
+// backlog <= 0). Each job additionally fans its replicas over its own
+// Request.Workers goroutines, so the peak goroutine budget is
+// runners × workers.
 func NewManager(runners, backlog int) *Manager {
+	return newManager(runners, backlog, nil)
+}
+
+// NewManagerWithStore starts a durable manager: submissions persist
+// before they are acknowledged, completed results persist as
+// content-addressed blobs, and the store's existing records are
+// recovered before the manager accepts new work — completed jobs serve
+// their stored results, failed/cancelled jobs keep their terminal
+// status, and jobs that were queued or running when the previous
+// process died are re-queued in their original submission order. The
+// backlog grows to fit the recovered active set if needed.
+func NewManagerWithStore(runners, backlog int, st store.Store) (*Manager, error) {
+	if st == nil {
+		return nil, fmt.Errorf("job: NewManagerWithStore needs a store")
+	}
+	recs, err := st.Jobs()
+	if err != nil {
+		return nil, fmt.Errorf("job: listing store: %w", err)
+	}
+	sort.Slice(recs, func(a, b int) bool {
+		if recs[a].Submitted != recs[b].Submitted {
+			return recs[a].Submitted < recs[b].Submitted
+		}
+		return recs[a].Seq < recs[b].Seq
+	})
+	// Decode everything before starting runners, so recovery either
+	// fully succeeds or reports the corrupt record without side
+	// effects; active jobs are counted so the queue can hold them all.
+	type recovered struct {
+		rec     *store.JobRecord
+		req     Request
+		gridLen int
+		active  bool
+	}
+	rjobs := make([]recovered, 0, len(recs))
+	active := 0
+	for _, rec := range recs {
+		req, err := decodeRequest(rec.Request)
+		if err != nil {
+			return nil, fmt.Errorf("job: recovering %s: %w", rec.ID, err)
+		}
+		grid, err := parsurf.NewTimeGrid(req.Until, req.Every)
+		if err != nil {
+			return nil, fmt.Errorf("job: recovering %s: %w", rec.ID, err)
+		}
+		r := recovered{rec: rec, req: req, gridLen: grid.Len()}
+		switch State(rec.State) {
+		case StateQueued, StateRunning:
+			r.active = true
+			active++
+		case StateDone, StateFailed, StateCancelled:
+		default:
+			return nil, fmt.Errorf("job: record %s has unknown state %q", rec.ID, rec.State)
+		}
+		rjobs = append(rjobs, r)
+	}
+	if backlog <= 0 {
+		backlog = DefaultBacklog
+	}
+	if active > backlog {
+		backlog = active
+	}
+	m := newManager(runners, backlog, st)
+	for _, r := range rjobs {
+		j := m.rebuild(r.rec, r.req, r.gridLen)
+		m.mu.Lock()
+		m.jobs[j.id] = j
+		if j.seq > m.nextID {
+			m.nextID = j.seq
+		}
+		m.mu.Unlock()
+		if r.active {
+			// A record found at "running" died mid-run; re-persist it
+			// as queued so its stored state matches the re-queue.
+			if State(r.rec.State) == StateRunning {
+				j.persist(StateQueued, nil)
+			}
+			m.queue <- j // sized above: cannot block
+		}
+	}
+	return m, nil
+}
+
+// rebuild constructs the in-memory job for a stored record. Recovered
+// terminal jobs start with their Done channel closed and zeroed
+// progress; their results load lazily from the store.
+func (m *Manager) rebuild(rec *store.JobRecord, req Request, gridLen int) *Job {
+	ctx, cancel := context.WithCancel(m.ctx)
+	slots := len(req.Specs) * req.Replicas
+	j := &Job{
+		id:        rec.ID,
+		seq:       rec.Seq,
+		req:       req,
+		mgr:       m,
+		hash:      rec.Hash,
+		rawReq:    rec.Request,
+		cached:    rec.Cached,
+		submitted: time.Unix(0, rec.Submitted),
+		ctx:       ctx,
+		cancel:    cancel,
+		gridLen:   gridLen,
+		slotSteps: make([]atomic.Uint64, slots),
+		slotTime:  make([]atomic.Uint64, slots),
+		state:     StateQueued,
+		done:      make(chan struct{}),
+	}
+	state := State(rec.State)
+	if state.Terminal() {
+		j.state = state
+		switch {
+		case rec.Error != "":
+			j.err = errors.New(rec.Error)
+		case state == StateCancelled:
+			j.err = context.Canceled
+		}
+		close(j.done)
+		cancel()
+	}
+	return j
+}
+
+// newManager builds the manager and starts its runner goroutines.
+func newManager(runners, backlog int, st store.Store) *Manager {
 	if runners < 1 {
 		runners = 1
 	}
@@ -282,6 +664,7 @@ func NewManager(runners, backlog int) *Manager {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
+		st:     st,
 		jobs:   make(map[string]*Job),
 		queue:  make(chan *Job, backlog),
 		ctx:    ctx,
@@ -299,9 +682,19 @@ func NewManager(runners, backlog int) *Manager {
 	return m
 }
 
+// RunsStarted returns how many jobs actually executed (entered the
+// sweep runner) since the manager started. Cache hits and recovered
+// terminal jobs never count, so the delta across a resubmission is the
+// cache-hit test.
+func (m *Manager) RunsStarted() int64 { return m.started.Load() }
+
 // Submit validates and enqueues a job, returning it immediately. It
 // fails when the request is malformed, the manager is shut down, or
-// the backlog is full.
+// the backlog is full. On a durable manager the job record is
+// persisted before Submit returns, and a request whose content hash
+// matches a stored completed result (unless Request.NoCache) is
+// answered without running: the returned job is already done, its
+// result served from the store.
 func (m *Manager) Submit(req Request) (*Job, error) {
 	if len(req.Specs) == 0 {
 		return nil, fmt.Errorf("job: request needs at least one spec")
@@ -331,6 +724,25 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		return nil, fmt.Errorf("job: %w", err)
 	}
 
+	var (
+		rawReq    json.RawMessage
+		hash      string
+		cachedRes *store.Result
+	)
+	if m.st != nil {
+		rawReq, hash, err = encodeRequest(req)
+		if err != nil {
+			return nil, err
+		}
+		if !req.NoCache {
+			if res, err := m.st.GetResult(hash); err == nil {
+				cachedRes = res
+			}
+			// A store read error (not just a miss) degrades to a cache
+			// miss: availability of the run beats the shortcut.
+		}
+	}
+
 	// The whole registration, including the non-blocking enqueue, runs
 	// under the manager lock. Close sets the closed flag under this
 	// lock before it closes the queue channel (outside the lock), so a
@@ -344,12 +756,18 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		return nil, fmt.Errorf("job: manager is shut down")
 	}
 	m.nextID++
-	id := fmt.Sprintf("job-%d", m.nextID)
+	seq := m.nextID
+	id := fmt.Sprintf("job-%d", seq)
 	ctx, cancel := context.WithCancel(m.ctx)
 	slots := len(req.Specs) * req.Replicas
 	j := &Job{
 		id:        id,
+		seq:       seq,
 		req:       req,
+		mgr:       m,
+		hash:      hash,
+		rawReq:    rawReq,
+		submitted: time.Now(),
 		ctx:       ctx,
 		cancel:    cancel,
 		gridLen:   grid.Len(),
@@ -358,15 +776,65 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		state:     StateQueued,
 		done:      make(chan struct{}),
 	}
+	if cachedRes != nil {
+		// Cache hit: the job is born done, never touches the queue,
+		// and persists as a done record pointing at the shared blob.
+		j.cached = true
+		j.state = StateDone
+		j.res = cachedRes
+		close(j.done)
+		cancel()
+		if err := m.putJobRecord(j, StateDone, nil); err != nil {
+			m.nextID--
+			return nil, err
+		}
+		m.jobs[id] = j
+		return j, nil
+	}
 	select {
 	case m.queue <- j:
 	default:
 		cancel()
+		m.nextID--
 		return nil, fmt.Errorf("job: backlog full (%d queued)", cap(m.queue))
 	}
+	// Persist before acknowledgment: a submission the client saw
+	// accepted must survive a restart. The job is already enqueued; if
+	// the record cannot be written, cancel it (the runner drains it as
+	// a no-op) and report the store failure instead of accepting.
+	if err := m.putJobRecord(j, StateQueued, nil); err != nil {
+		j.userCancel.Store(true)
+		cancel()
+		j.setState(StateCancelled, context.Canceled, nil)
+		m.nextID--
+		return nil, err
+	}
 	m.jobs[id] = j
-	m.order = append(m.order, id)
 	return j, nil
+}
+
+// putJobRecord persists a record for j with the given state, surfacing
+// the error (unlike the best-effort mid-flight persists).
+func (m *Manager) putJobRecord(j *Job, s State, jobErr error) error {
+	if m.st == nil {
+		return nil
+	}
+	rec := &store.JobRecord{
+		ID:        j.id,
+		Seq:       j.seq,
+		Hash:      j.hash,
+		State:     string(s),
+		Cached:    j.cached,
+		Submitted: j.submitted.UnixNano(),
+		Request:   j.rawReq,
+	}
+	if jobErr != nil {
+		rec.Error = jobErr.Error()
+	}
+	if err := m.st.PutJob(rec); err != nil {
+		return fmt.Errorf("job: persisting %s: %w", j.id, err)
+	}
+	return nil
 }
 
 // Get returns the job with the given id.
@@ -377,20 +845,31 @@ func (m *Manager) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Jobs returns every known job in submission order.
+// Jobs returns every known job ordered by submission time (then
+// sequence number) — deterministic across restarts, where recovery
+// reads records in whatever order the store lists them.
 func (m *Manager) Jobs() []*Job {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]*Job, 0, len(m.order))
-	for _, id := range m.order {
-		out = append(out, m.jobs[id])
+	out := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
 	}
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].submitted.Equal(out[b].submitted) {
+			return out[a].submitted.Before(out[b].submitted)
+		}
+		return out[a].seq < out[b].seq
+	})
 	return out
 }
 
 // Close stops accepting submissions, cancels every job (queued jobs
 // never start; running replicas abort within one engine step) and
-// waits for the runners to drain.
+// waits for the runners to drain. On a durable manager, jobs
+// interrupted by Close keep resumable stored records (queued), so the
+// next NewManagerWithStore on the same store re-queues them; only
+// cancellations requested through Job.Cancel persist as cancelled.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -405,7 +884,8 @@ func (m *Manager) Close() {
 	close(m.queue)
 	m.wg.Wait()
 	// Queued jobs that were drained by cancelled runners still need a
-	// terminal state.
+	// terminal state in memory; their stored records stay queued (see
+	// finishErr), which is exactly what makes them resume on restart.
 	for _, j := range m.Jobs() {
 		j.finishErr(context.Canceled)
 	}

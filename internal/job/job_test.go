@@ -2,6 +2,7 @@ package job
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -235,5 +236,107 @@ func TestBacklogBound(t *testing.T) {
 	}
 	if !rejected {
 		t.Fatal("backlog of 1 accepted 4 long jobs")
+	}
+}
+
+// Cancelling a job that already reached a terminal state is a no-op:
+// the state, error and result all stay what the terminal transition
+// set.
+func TestCancelAfterTerminalNoop(t *testing.T) {
+	m := NewManager(1, 0)
+	defer m.Close()
+	j, err := m.Submit(Request{
+		Specs: []*parsurf.SessionSpec{ziffSpec(t, 0.51, 5)},
+		Until: 2, Every: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, j, 30*time.Second); st.State != StateDone {
+		t.Fatalf("state %s (%s)", st.State, st.Error)
+	}
+	j.Cancel()
+	j.Cancel() // repeatedly, per the contract
+	if st := j.Status(); st.State != StateDone || st.Error != "" {
+		t.Fatalf("cancel after done mutated the job: %+v", st)
+	}
+	if _, err := j.Result(); err != nil {
+		t.Fatalf("result lost after post-terminal cancel: %v", err)
+	}
+}
+
+// With the single runner pinned by a running job, a backlog of one
+// holds exactly one queued job: the next submission is rejected with
+// the backlog error, deterministically.
+func TestBacklogFullRejection(t *testing.T) {
+	m := NewManager(1, 1)
+	defer m.Close()
+	long := func(seed uint64) (*Job, error) {
+		return m.Submit(Request{
+			Specs: []*parsurf.SessionSpec{ziffSpec(t, 0.51, seed)},
+			Until: 1e9, Every: 1e6,
+		})
+	}
+	runner, err := long(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the runner demonstrably holds the first job, so the
+	// queue is empty and its capacity the only variable.
+	deadline := time.Now().Add(30 * time.Second)
+	for runner.Status().State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("first job never started (state %s)", runner.Status().State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := long(2); err != nil {
+		t.Fatalf("backlog of 1 rejected its first queued job: %v", err)
+	}
+	_, err = long(3)
+	if err == nil {
+		t.Fatal("backlog of 1 accepted a second queued job")
+	}
+	if !strings.Contains(err.Error(), "backlog full") {
+		t.Fatalf("rejection says %q, want a backlog-full error", err)
+	}
+}
+
+// Submit racing Close never panics on the closed queue and never
+// strands a job: every accepted submission reaches a terminal state.
+func TestSubmitRacingClose(t *testing.T) {
+	m := NewManager(2, 4)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		accepted []*Job
+	)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				j, err := m.Submit(Request{
+					Specs: []*parsurf.SessionSpec{ziffSpec(t, 0.51, uint64(g*100+i+1))},
+					Until: 1e9, Every: 1e6,
+				})
+				if err != nil {
+					return // shut down or backlog full: both fine
+				}
+				mu.Lock()
+				accepted = append(accepted, j)
+				mu.Unlock()
+			}
+		}(g)
+	}
+	time.Sleep(5 * time.Millisecond)
+	m.Close()
+	wg.Wait()
+	for _, j := range accepted {
+		select {
+		case <-j.Done():
+		case <-time.After(30 * time.Second):
+			t.Fatalf("job %s stranded in %s after Close raced Submit", j.ID(), j.Status().State)
+		}
 	}
 }

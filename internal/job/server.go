@@ -1,31 +1,42 @@
 package job
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"parsurf"
-	"parsurf/internal/trace"
+	"parsurf/internal/store"
 )
 
 // Server is the HTTP face of a Manager: submit a spec as JSON, poll
-// status, fetch results, cancel. It implements http.Handler.
+// status, stream progress, fetch results, cancel. It implements
+// http.Handler.
 //
 //	POST   /jobs             submit (see SubmitRequest)
-//	GET    /jobs             list job statuses
+//	GET    /jobs             list job statuses (submission order)
 //	GET    /jobs/{id}        one job's status
+//	GET    /jobs/{id}/events SSE progress frames until terminal
 //	GET    /jobs/{id}/result series (JSON; ?format=csv&variant=v for CSV)
 //	POST   /jobs/{id}/cancel cancel
+//	GET    /healthz          readiness probe
+//	GET    /version          build/version stamp
 type Server struct {
-	mgr *Manager
-	mux *http.ServeMux
+	mgr     *Manager
+	mux     *http.ServeMux
+	version string
+	// eventInterval paces SSE progress frames between state changes.
+	eventInterval time.Duration
 }
 
 // SubmitRequest is the POST /jobs body: one spec (or several sweep
 // variants) in the specfile JSON schema, plus the run shape. Exactly
-// one of "spec" and "specs" must be present.
+// one of "spec" and "specs" must be present. On a durable server,
+// "nocache": true forces a run even when the result cache holds a
+// matching completed result.
 type SubmitRequest struct {
 	Spec     *parsurf.SessionSpec   `json:"spec,omitempty"`
 	Specs    []*parsurf.SessionSpec `json:"specs,omitempty"`
@@ -33,35 +44,49 @@ type SubmitRequest struct {
 	Workers  int                    `json:"workers,omitempty"`
 	Until    float64                `json:"until"`
 	Every    float64                `json:"every"`
+	NoCache  bool                   `json:"nocache,omitempty"`
 }
 
-// VariantResult is one variant's merged series in a ResultResponse.
-type VariantResult struct {
-	// Species are the column labels, index-aligned with Mean/Std rows.
-	Species []string `json:"species"`
-	// T is the shared time grid.
-	T []float64 `json:"t"`
-	// Mean and Std are per-species rows over the grid.
-	Mean [][]float64 `json:"mean"`
-	Std  [][]float64 `json:"std"`
-}
+// VariantResult is one variant's merged series in a ResultResponse —
+// the store's serialized result form, served verbatim.
+type VariantResult = store.Variant
 
 // ResultResponse is the GET /jobs/{id}/result body.
 type ResultResponse struct {
-	ID       string          `json:"id"`
+	ID string `json:"id"`
+	// Cached marks a result served from the content-addressed cache
+	// instead of a run in this process.
+	Cached   bool            `json:"cached,omitempty"`
 	Variants []VariantResult `json:"variants"`
+}
+
+// EventFrame is one SSE frame of GET /jobs/{id}/events: the job status
+// plus each replica's simulated-time frontier from the atomic progress
+// slots.
+type EventFrame struct {
+	Status
+	// ReplicaTimes is each replica's latest simulated time, indexed
+	// (variant × replicas + replica). Zero for replicas not yet
+	// observed at any grid point.
+	ReplicaTimes []float64 `json:"replicaTimes,omitempty"`
 }
 
 // NewServer wraps a manager in the HTTP API.
 func NewServer(mgr *Manager) *Server {
-	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), version: "dev", eventInterval: 250 * time.Millisecond}
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /version", s.handleVersion)
 	return s
 }
+
+// SetVersion sets the stamp GET /version reports (default "dev").
+func (s *Server) SetVersion(v string) { s.version = v }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -109,6 +134,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Workers:  req.Workers,
 		Until:    req.Until,
 		Every:    req.Every,
+		NoCache:  req.NoCache,
 	})
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -124,6 +150,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		out[i] = j.Status()
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"version": s.version})
 }
 
 // lookup resolves the {id} path value.
@@ -150,55 +184,131 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleEvents streams SSE progress frames — "event: progress" while
+// the job advances, one final "event: done" carrying the terminal
+// status — so clients follow a job without polling. The stream ends at
+// the terminal frame or when the client hangs up.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream; charset=utf-8")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+
+	send := func(event string) bool {
+		frame := EventFrame{Status: j.Status(), ReplicaTimes: j.ReplicaTimes()}
+		data, err := json.Marshal(frame)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	select {
+	case <-j.Done():
+		// Already terminal: one done frame and out.
+		send("done")
+		return
+	default:
+	}
+	if !send("progress") {
+		return
+	}
+	ticker := time.NewTicker(s.eventInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.Done():
+			send("done")
+			return
+		case <-ticker.C:
+			if !send("progress") {
+				return
+			}
+		}
+	}
+}
+
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
-	ensembles, err := j.Result()
+	res, err := j.ResultData()
 	if err != nil {
-		code := http.StatusConflict // not finished / cancelled / failed
-		httpError(w, code, err)
+		// Not finished, cancelled, or failed: the request conflicts
+		// with the job's state — 409, never a 500.
+		httpError(w, http.StatusConflict, err)
 		return
 	}
 	if r.URL.Query().Get("format") == "csv" {
-		s.writeCSV(w, r, j, ensembles)
+		s.writeCSV(w, r, j, res)
 		return
 	}
-	resp := ResultResponse{ID: j.ID()}
-	for v, ens := range ensembles {
-		vr := VariantResult{
-			Species: j.req.Specs[v].SpeciesNames(),
-			T:       ens.Grid.Times(),
-			Mean:    make([][]float64, len(ens.Mean)),
-			Std:     make([][]float64, len(ens.Std)),
-		}
-		for sp := range ens.Mean {
-			vr.Mean[sp] = ens.Mean[sp].X
-			vr.Std[sp] = ens.Std[sp].X
-		}
-		resp.Variants = append(resp.Variants, vr)
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, ResultResponse{ID: j.ID(), Cached: j.Cached(), Variants: res.Variants})
 }
 
-// writeCSV renders one variant's mean series in the same CSV shape
-// surfsim prints (t column plus one column per species).
-func (s *Server) writeCSV(w http.ResponseWriter, r *http.Request, j *Job, ensembles []*parsurf.Ensemble) {
+// writeCSV streams one variant's mean series in the same CSV shape
+// surfsim prints (t column plus one column per species), row by row —
+// chunked transfer, never a full body in memory.
+func (s *Server) writeCSV(w http.ResponseWriter, r *http.Request, j *Job, res *store.Result) {
 	variant := 0
 	if v := r.URL.Query().Get("variant"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 || n >= len(ensembles) {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("variant %q outside [0, %d)", v, len(ensembles)))
+		if err != nil || n < 0 || n >= len(res.Variants) {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("variant %q outside [0, %d)", v, len(res.Variants)))
 			return
 		}
 		variant = n
 	}
-	w.Header().Set("Content-Type", "text/csv")
-	header := append([]string{"t"}, j.req.Specs[variant].SpeciesNames()...)
+	vr := res.Variants[variant]
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("%s-v%d.csv", j.ID(), variant)))
+	flusher, _ := w.(http.Flusher)
 	// A mid-stream failure (client hung up) cannot be reported to the
 	// client anymore — the 200 status and partial CSV are already on
-	// the wire — so it is deliberately dropped rather than appended as
-	// a JSON fragment to a corrupt payload.
-	_ = trace.WriteCSV(w, header, ensembles[variant].Mean...)
+	// the wire — so write errors end the stream silently rather than
+	// appending a JSON fragment to a corrupt payload.
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprint(bw, "t"); err != nil {
+		return
+	}
+	for _, sp := range vr.Species {
+		fmt.Fprintf(bw, ",%s", sp)
+	}
+	fmt.Fprintln(bw)
+	const flushEvery = 256
+	for k := range vr.T {
+		fmt.Fprintf(bw, "%g", vr.T[k])
+		for sp := range vr.Mean {
+			fmt.Fprintf(bw, ",%g", vr.Mean[sp][k])
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return
+		}
+		if (k+1)%flushEvery == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	bw.Flush()
 }

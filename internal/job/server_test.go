@@ -1,13 +1,17 @@
 package job
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"parsurf/internal/store"
 )
 
 // smokeSpec is the CI smoke workload: a 32² ziff run submitted as raw
@@ -203,5 +207,309 @@ func TestServerSubmitErrors(t *testing.T) {
 
 	if code, _ := getBody(t, ts.URL+"/jobs/job-999"); code != http.StatusNotFound {
 		t.Errorf("unknown job: status %d, want 404", code)
+	}
+}
+
+// sseFrame is one parsed SSE frame.
+type sseFrame struct {
+	event string
+	data  string
+}
+
+// readSSE consumes the stream until (and including) the first frame
+// with the given terminal event name.
+func readSSE(t *testing.T, r io.Reader, until string) []sseFrame {
+	t.Helper()
+	var (
+		frames []sseFrame
+		cur    sseFrame
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				frames = append(frames, cur)
+				if cur.event == until {
+					return frames
+				}
+				cur = sseFrame{}
+			}
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	t.Fatalf("stream ended without %q (got %d frames)", until, len(frames))
+	return nil
+}
+
+// GET /jobs/{id}/events streams progress frames and a terminal done
+// frame in SSE framing.
+func TestServerSSEEvents(t *testing.T) {
+	m := NewManager(2, 0)
+	defer m.Close()
+	srv := NewServer(m)
+	srv.eventInterval = 2 * time.Millisecond
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, body := postJSON(t, ts.URL+"/jobs", smokeSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("events content type %q", ct)
+	}
+	frames := readSSE(t, resp.Body, "done")
+	last := frames[len(frames)-1]
+	if last.event != "done" {
+		t.Fatalf("final frame event %q", last.event)
+	}
+	var frame EventFrame
+	if err := json.Unmarshal([]byte(last.data), &frame); err != nil {
+		t.Fatalf("done frame data %q: %v", last.data, err)
+	}
+	if frame.ID != st.ID || frame.State != StateDone {
+		t.Fatalf("done frame %+v", frame)
+	}
+	if len(frame.ReplicaTimes) != 4 {
+		t.Fatalf("done frame has %d replica times, want 4", len(frame.ReplicaTimes))
+	}
+	for i, rt := range frame.ReplicaTimes {
+		if rt < 10 {
+			t.Fatalf("replica %d frontier %v below the horizon", i, rt)
+		}
+	}
+	for _, f := range frames[:len(frames)-1] {
+		if f.event != "progress" {
+			t.Fatalf("mid-stream frame event %q", f.event)
+		}
+	}
+	// A stream opened on an already-terminal job yields the done frame
+	// immediately.
+	resp2, err := http.Get(ts.URL + "/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if frames := readSSE(t, resp2.Body, "done"); len(frames) != 1 {
+		t.Fatalf("terminal-job stream sent %d frames, want 1", len(frames))
+	}
+}
+
+// The CSV result endpoint declares its media type and download name,
+// streams the same bytes the JSON grid carries, and a result requested
+// before the job is terminal is a 409, not a 500.
+func TestServerCSVHeadersAndConflict(t *testing.T) {
+	m := NewManager(1, 0)
+	defer m.Close()
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+
+	// Non-terminal job: result is a conflict.
+	long := `{
+	  "spec": {"lattice": {"l0": 24, "l1": 24}, "engine": {"name": "ziff", "y": 0.51}},
+	  "replicas": 2, "workers": 2, "until": 1e9, "every": 1e6
+	}`
+	code, body := postJSON(t, ts.URL+"/jobs", long)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := getBody(t, ts.URL+"/jobs/"+st.ID+"/result"); code != http.StatusConflict {
+		t.Fatalf("result of running job: %d, want 409", code)
+	}
+	if code, _ := getBody(t, ts.URL+"/jobs/"+st.ID+"/result?format=csv"); code != http.StatusConflict {
+		t.Fatalf("csv result of running job: %d, want 409", code)
+	}
+	postJSON(t, ts.URL+"/jobs/"+st.ID+"/cancel", "")
+
+	// Completed job: proper CSV headers.
+	code, body = postJSON(t, ts.URL+"/jobs", smokeSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := m.Get(st.ID)
+	waitTerminal(t, j, 60*time.Second)
+
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/result?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("csv: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/csv; charset=utf-8" {
+		t.Fatalf("csv content type %q", ct)
+	}
+	cd := resp.Header.Get("Content-Disposition")
+	if !strings.Contains(cd, "attachment") || !strings.Contains(cd, st.ID) {
+		t.Fatalf("csv content disposition %q", cd)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "t,*,CO,O\n") {
+		t.Fatalf("csv header: %q", string(data[:min(len(data), 40)]))
+	}
+	if code, _ := getBody(t, ts.URL+"/jobs/"+st.ID+"/result?format=csv&variant=9"); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range variant: %d, want 400", code)
+	}
+}
+
+// /healthz answers as soon as the server is up; /version echoes the
+// configured stamp.
+func TestServerHealthzAndVersion(t *testing.T) {
+	m := NewManager(1, 0)
+	defer m.Close()
+	srv := NewServer(m)
+	srv.SetVersion("v-test-1")
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, body := getBody(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	code, body = getBody(t, ts.URL+"/version")
+	if code != http.StatusOK || !strings.Contains(body, "v-test-1") {
+		t.Fatalf("version: %d %s", code, body)
+	}
+}
+
+// GET /jobs lists jobs in submission order — pinned, not
+// map-iteration luck: the listing is compared against the exact
+// submission sequence.
+func TestServerListDeterministicOrder(t *testing.T) {
+	m := NewManager(2, 0)
+	defer m.Close()
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+
+	var want []string
+	for i := 0; i < 6; i++ {
+		spec := strings.Replace(smokeSpec, `"seed": 42`, fmt.Sprintf(`"seed": %d`, i+1), 1)
+		code, body := postJSON(t, ts.URL+"/jobs", spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, code, body)
+		}
+		var st Status
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, st.ID)
+	}
+	for round := 0; round < 3; round++ {
+		code, body := getBody(t, ts.URL+"/jobs")
+		if code != http.StatusOK {
+			t.Fatalf("list: %d %s", code, body)
+		}
+		var got []Status
+		if err := json.Unmarshal([]byte(body), &got); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("list has %d jobs, want %d", len(got), len(want))
+		}
+		for i, st := range got {
+			if st.ID != want[i] {
+				t.Fatalf("round %d: list[%d] = %s, want %s", round, i, st.ID, want[i])
+			}
+		}
+	}
+}
+
+// Over HTTP, a durable server answers a repeated submission from the
+// result cache: accepted response already done and flagged cached,
+// result identical, and "nocache" forces a fresh run.
+func TestServerCacheHitOverHTTP(t *testing.T) {
+	st := store.NewMem()
+	m, err := NewManagerWithStore(2, 0, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+
+	code, body := postJSON(t, ts.URL+"/jobs", smokeSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var first Status
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := m.Get(first.ID)
+	waitTerminal(t, j, 60*time.Second)
+	_, want := getBody(t, ts.URL+"/jobs/"+first.ID+"/result?format=csv")
+
+	code, body = postJSON(t, ts.URL+"/jobs", smokeSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit: %d %s", code, body)
+	}
+	var hit Status
+	if err := json.Unmarshal(body, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if hit.State != StateDone || !hit.Cached {
+		t.Fatalf("resubmission status %+v, want cached done", hit)
+	}
+	_, got := getBody(t, ts.URL+"/jobs/"+hit.ID+"/result?format=csv")
+	if got != want {
+		t.Fatal("cached CSV differs from the original")
+	}
+	if n := m.RunsStarted(); n != 1 {
+		t.Fatalf("RunsStarted %d after cache hit, want 1", n)
+	}
+	// JSON result body carries the cached flag.
+	_, res := getBody(t, ts.URL+"/jobs/"+hit.ID+"/result")
+	if !strings.Contains(res, `"cached":true`) {
+		t.Fatalf("cached result body lacks the flag: %s", res[:min(len(res), 120)])
+	}
+
+	nocache := strings.Replace(smokeSpec, `"replicas": 4,`, `"nocache": true, "replicas": 4,`, 1)
+	code, body = postJSON(t, ts.URL+"/jobs", nocache)
+	if code != http.StatusAccepted {
+		t.Fatalf("nocache submit: %d %s", code, body)
+	}
+	var fresh Status
+	if err := json.Unmarshal(body, &fresh); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Cached {
+		t.Fatal("nocache submission served from cache")
+	}
+	j, _ = m.Get(fresh.ID)
+	waitTerminal(t, j, 60*time.Second)
+	if n := m.RunsStarted(); n != 2 {
+		t.Fatalf("RunsStarted %d after nocache, want 2", n)
 	}
 }

@@ -1,0 +1,159 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FS is the durable filesystem store. Layout under the data directory:
+//
+//	<dir>/jobs/<id>.json      one record per job
+//	<dir>/results/<hash>.json one blob per content hash
+//
+// Every write goes through a temp file in the target directory: write,
+// fsync, rename over the final name, fsync the directory — so a record
+// is either the old version or the new one, never a torn mix, and a
+// rename that was acknowledged survives a crash.
+type FS struct {
+	jobsDir    string
+	resultsDir string
+}
+
+// OpenFS opens (creating if needed) a filesystem store rooted at dir.
+func OpenFS(dir string) (*FS, error) {
+	f := &FS{
+		jobsDir:    filepath.Join(dir, "jobs"),
+		resultsDir: filepath.Join(dir, "results"),
+	}
+	for _, d := range []string{dir, f.jobsDir, f.resultsDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// PutJob implements Store.
+func (f *FS) PutJob(rec *JobRecord) error {
+	if err := validKey("job", rec.ID); err != nil {
+		return err
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding job %s: %w", rec.ID, err)
+	}
+	return writeAtomic(filepath.Join(f.jobsDir, rec.ID+".json"), data)
+}
+
+// GetJob implements Store.
+func (f *FS) GetJob(id string) (*JobRecord, error) {
+	if err := validKey("job", id); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(f.jobsDir, id+".json"))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: job %q: %w", id, ErrNotFound)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	rec := new(JobRecord)
+	if err := json.Unmarshal(data, rec); err != nil {
+		return nil, fmt.Errorf("store: decoding job %s: %w", id, err)
+	}
+	return rec, nil
+}
+
+// Jobs implements Store.
+func (f *FS) Jobs() ([]*JobRecord, error) {
+	entries, err := os.ReadDir(f.jobsDir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []*JobRecord
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		rec, err := f.GetJob(strings.TrimSuffix(name, ".json"))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// PutResult implements Store.
+func (f *FS) PutResult(hash string, res *Result) error {
+	if err := validKey("result", hash); err != nil {
+		return err
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("store: encoding result %s: %w", hash, err)
+	}
+	return writeAtomic(filepath.Join(f.resultsDir, hash+".json"), data)
+}
+
+// GetResult implements Store.
+func (f *FS) GetResult(hash string) (*Result, error) {
+	if err := validKey("result", hash); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(f.resultsDir, hash+".json"))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: result %s: %w", hash, ErrNotFound)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	res := new(Result)
+	if err := json.Unmarshal(data, res); err != nil {
+		return nil, fmt.Errorf("store: decoding result %s: %w", hash, err)
+	}
+	return res, nil
+}
+
+// writeAtomic publishes data at path via a same-directory temp file:
+// fsync the contents before the rename (so the new bytes are durable
+// before the name points at them) and fsync the directory after (so the
+// rename itself is durable).
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		// Directory fsync is advisory on some filesystems; a failure
+		// here cannot un-publish the rename, so it is not fatal.
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Mem is the in-memory store for tests. It round-trips every value
+// through its JSON encoding — exactly what the filesystem store does —
+// so a test that passes against Mem exercises the same serialization
+// semantics (value isolation, byte-stable re-reads) as the durable
+// path, minus the disk.
+type Mem struct {
+	mu      sync.Mutex
+	jobs    map[string][]byte
+	results map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{
+		jobs:    make(map[string][]byte),
+		results: make(map[string][]byte),
+	}
+}
+
+// PutJob implements Store.
+func (m *Mem) PutJob(rec *JobRecord) error {
+	if err := validKey("job", rec.ID); err != nil {
+		return err
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding job %s: %w", rec.ID, err)
+	}
+	m.mu.Lock()
+	m.jobs[rec.ID] = data
+	m.mu.Unlock()
+	return nil
+}
+
+// GetJob implements Store.
+func (m *Mem) GetJob(id string) (*JobRecord, error) {
+	if err := validKey("job", id); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	data, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("store: job %q: %w", id, ErrNotFound)
+	}
+	rec := new(JobRecord)
+	if err := json.Unmarshal(data, rec); err != nil {
+		return nil, fmt.Errorf("store: decoding job %s: %w", id, err)
+	}
+	return rec, nil
+}
+
+// Jobs implements Store.
+func (m *Mem) Jobs() ([]*JobRecord, error) {
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.jobs))
+	for id := range m.jobs {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	out := make([]*JobRecord, 0, len(ids))
+	for _, id := range ids {
+		rec, err := m.GetJob(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// PutResult implements Store.
+func (m *Mem) PutResult(hash string, res *Result) error {
+	if err := validKey("result", hash); err != nil {
+		return err
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("store: encoding result %s: %w", hash, err)
+	}
+	m.mu.Lock()
+	m.results[hash] = data
+	m.mu.Unlock()
+	return nil
+}
+
+// GetResult implements Store.
+func (m *Mem) GetResult(hash string) (*Result, error) {
+	if err := validKey("result", hash); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	data, ok := m.results[hash]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("store: result %s: %w", hash, ErrNotFound)
+	}
+	res := new(Result)
+	if err := json.Unmarshal(data, res); err != nil {
+		return nil, fmt.Errorf("store: decoding result %s: %w", hash, err)
+	}
+	return res, nil
+}

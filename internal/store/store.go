@@ -1,0 +1,106 @@
+// Package store persists surfd jobs and results: a content-addressed
+// job/result store behind a small interface, with a durable filesystem
+// implementation (atomic rename writes, fsync'd JSON records) and an
+// in-memory one for tests.
+//
+// Job records are keyed by job id and carry the serialized request, so
+// a restart can rebuild the manager's job table and re-queue work that
+// was interrupted. Result blobs are keyed by the SHA-256 content hash
+// of the canonical (spec, run-shape) bytes — the spec's byte-fixed-point
+// JSON marshal makes identical workloads hash identically — so the same
+// key space doubles as a result cache: a resubmission whose hash matches
+// a stored result is served without re-simulating.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound reports a missing job record or result blob. Match with
+// errors.Is.
+var ErrNotFound = errors.New("store: not found")
+
+// JobRecord is the persisted form of one submitted job: identity,
+// lifecycle state, and the serialized request needed to re-run it.
+type JobRecord struct {
+	// ID is the manager-assigned job id ("job-7").
+	ID string `json:"id"`
+	// Seq is the numeric submission sequence; restarts resume ids past
+	// the highest stored Seq, and listings order by (Submitted, Seq).
+	Seq int `json:"seq"`
+	// Hash is the content address of the job's (spec, run-shape) bytes;
+	// the result blob of a completed job lives under this key.
+	Hash string `json:"hash,omitempty"`
+	// State is the persisted lifecycle state. A record left at
+	// "queued"/"running" by a crash is re-queued on recovery.
+	State string `json:"state"`
+	// Error is the terminal error text of a failed/cancelled job.
+	Error string `json:"error,omitempty"`
+	// Cached marks a job answered from the result cache without running.
+	Cached bool `json:"cached,omitempty"`
+	// Submitted is the submission wall-clock time in Unix nanoseconds.
+	Submitted int64 `json:"submitted"`
+	// Request is the serialized request (specs plus run shape), exactly
+	// what recovery re-queues.
+	Request json.RawMessage `json:"request,omitempty"`
+}
+
+// Variant is one variant's merged series in a Result — the same shape
+// the HTTP result endpoint serves.
+type Variant struct {
+	// Species are the column labels, index-aligned with Mean/Std rows.
+	Species []string `json:"species"`
+	// T is the shared time grid.
+	T []float64 `json:"t"`
+	// Mean and Std are per-species rows over the grid.
+	Mean [][]float64 `json:"mean"`
+	Std  [][]float64 `json:"std"`
+}
+
+// Result is a completed job's merged output, one entry per sweep
+// variant. Values are plain float64 series: JSON round-trips them
+// bit-exactly (Go encodes the shortest representation that parses back
+// to the same float64), so a result served from disk is byte-identical
+// to the one served at completion time.
+type Result struct {
+	Variants []Variant `json:"variants"`
+}
+
+// Store persists job records and result blobs. Implementations must be
+// safe for concurrent use. Get methods return ErrNotFound (wrapped) for
+// missing keys; Put methods overwrite.
+type Store interface {
+	// PutJob writes (or overwrites) a job record.
+	PutJob(rec *JobRecord) error
+	// GetJob reads the record with the given id.
+	GetJob(id string) (*JobRecord, error)
+	// Jobs lists every stored record, in no particular order.
+	Jobs() ([]*JobRecord, error)
+	// PutResult writes (or overwrites) the result blob under the hash.
+	PutResult(hash string, res *Result) error
+	// GetResult reads the result blob under the hash.
+	GetResult(hash string) (*Result, error)
+}
+
+// validKey guards record/blob keys used as file names: a key must be
+// non-empty, not start with a dot, and contain only [A-Za-z0-9._-], so
+// no key can escape the store directory or collide with temp files.
+func validKey(kind, key string) error {
+	if key == "" {
+		return fmt.Errorf("store: empty %s key", kind)
+	}
+	if key[0] == '.' {
+		return fmt.Errorf("store: %s key %q starts with a dot", kind, key)
+	}
+	for _, c := range key {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("store: %s key %q contains %q", kind, key, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// openBoth runs a subtest against the filesystem store and the
+// in-memory one: the interface contract is one suite.
+func openBoth(t *testing.T, f func(t *testing.T, s Store)) {
+	t.Helper()
+	t.Run("fs", func(t *testing.T) {
+		s, err := OpenFS(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f(t, s)
+	})
+	t.Run("mem", func(t *testing.T) {
+		f(t, NewMem())
+	})
+}
+
+func TestJobRecordRoundTrip(t *testing.T) {
+	openBoth(t, func(t *testing.T, s Store) {
+		rec := &JobRecord{
+			ID:        "job-7",
+			Seq:       7,
+			Hash:      "abc123",
+			State:     "queued",
+			Submitted: 12345,
+			Request:   json.RawMessage(`{"until":5}`),
+		}
+		if err := s.PutJob(rec); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.GetJob("job-7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("round trip: got %+v, want %+v", got, rec)
+		}
+		// Overwrite wins.
+		rec.State = "done"
+		rec.Cached = true
+		if err := s.PutJob(rec); err != nil {
+			t.Fatal(err)
+		}
+		got, err = s.GetJob("job-7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State != "done" || !got.Cached {
+			t.Fatalf("overwrite lost: %+v", got)
+		}
+	})
+}
+
+func TestMissingKeysAreErrNotFound(t *testing.T) {
+	openBoth(t, func(t *testing.T, s Store) {
+		if _, err := s.GetJob("job-404"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("missing job: %v, want ErrNotFound", err)
+		}
+		if _, err := s.GetResult("deadbeef"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("missing result: %v, want ErrNotFound", err)
+		}
+	})
+}
+
+func TestResultRoundTripIsByteStable(t *testing.T) {
+	openBoth(t, func(t *testing.T, s Store) {
+		res := &Result{Variants: []Variant{{
+			Species: []string{"*", "CO", "O"},
+			T:       []float64{0, 0.1, 0.30000000000000004},
+			Mean:    [][]float64{{1, 0.5, 1.0 / 3}, {0, 0.25, 0.3}, {0, 0.25, 0.1}},
+			Std:     [][]float64{{0, 0.01, 0.002}, {0, 0, 0}, {0, 0, 0}},
+		}}}
+		want, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutResult("cafe01", res); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.GetResult("cafe01")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != string(want) {
+			t.Fatalf("stored result not byte-identical:\n got %s\nwant %s", out, want)
+		}
+	})
+}
+
+func TestJobsListsEverything(t *testing.T) {
+	openBoth(t, func(t *testing.T, s Store) {
+		for _, id := range []string{"job-1", "job-2", "job-3"} {
+			if err := s.PutJob(&JobRecord{ID: id, State: "queued"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recs, err := s.Jobs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []string
+		for _, r := range recs {
+			ids = append(ids, r.ID)
+		}
+		sort.Strings(ids)
+		if !reflect.DeepEqual(ids, []string{"job-1", "job-2", "job-3"}) {
+			t.Fatalf("listed %v", ids)
+		}
+	})
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	openBoth(t, func(t *testing.T, s Store) {
+		for _, id := range []string{"", "../evil", "a/b", ".hidden"} {
+			if err := s.PutJob(&JobRecord{ID: id}); err == nil {
+				t.Errorf("PutJob accepted key %q", id)
+			}
+			if _, err := s.GetJob(id); err == nil || errors.Is(err, ErrNotFound) {
+				t.Errorf("GetJob(%q): %v, want a key error", id, err)
+			}
+		}
+	})
+}
+
+// A store reopened on the same directory serves what was written — the
+// durability half of the contract the in-memory store cannot cover.
+func TestFSReopenSurvives(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.PutJob(&JobRecord{ID: "job-1", State: "done", Hash: "h1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.PutResult("h1", &Result{Variants: []Variant{{Species: []string{"*"}}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s2.GetJob("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != "done" || rec.Hash != "h1" {
+		t.Fatalf("reopened record %+v", rec)
+	}
+	if _, err := s2.GetResult("h1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Leftover temp files from a crash mid-write are invisible to listings.
+func TestFSIgnoresTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutJob(&JobRecord{ID: "job-1", State: "queued"}); err != nil {
+		t.Fatal(err)
+	}
+	debris := filepath.Join(dir, "jobs", ".tmp-crashed")
+	if err := os.WriteFile(debris, []byte("{partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "job-1" {
+		t.Fatalf("listing with debris: %+v", recs)
+	}
+}
