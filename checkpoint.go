@@ -1,0 +1,101 @@
+package parsurf
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"parsurf/internal/persist"
+	"parsurf/internal/rng"
+)
+
+// Hash fingerprints the spec: the hex SHA-256 of its canonical JSON
+// form. It returns "" for specs that cannot be serialized (raw
+// partitions or type splits supplied as Go pointers) — such specs still
+// checkpoint, but without the spec-mismatch guard.
+func (sp *SessionSpec) Hash() string {
+	data, err := sp.MarshalJSON()
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Checkpoint writes the session's complete state — engine name, spec
+// hash, step count, clock, random-source state, configuration and the
+// engine-private payload — in the persist v2 format. Taken at a step
+// boundary (which is the only place callers can observe a session), the
+// snapshot is exact: every engine routes its randomness so the raw
+// source state is in sync after each whole Step (the RSM batch reader
+// guarantees this through its reservation bound), so a ResumeSession
+// continues the trajectory bit for bit.
+func (s *Session) Checkpoint(w io.Writer) error {
+	var payload bytes.Buffer
+	if err := s.eng.SaveState(&payload); err != nil {
+		return fmt.Errorf("parsurf: saving %s engine state: %w", s.eng.Name(), err)
+	}
+	return persist.Write(w, &persist.Checkpoint{
+		Engine:     s.eng.Name(),
+		SpecHash:   s.spec.Hash(),
+		NumSpecies: s.NumSpecies(),
+		Steps:      s.eng.Steps(),
+		Time:       s.eng.Time(),
+		Config:     s.cfg,
+		RNG:        s.src,
+		Payload:    payload.Bytes(),
+	})
+}
+
+// ResumeSession builds a session from the spec and restores the
+// checkpointed state into it, so the next Step continues the
+// interrupted run exactly where Checkpoint left it. The checkpoint must
+// come from the same spec: engine name, lattice extents, species count
+// and (when both sides are serializable) the spec hash are all checked.
+func ResumeSession(spec *SessionSpec, r io.Reader) (*Session, error) {
+	cp, err := persist.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return resumeSession(spec, cp)
+}
+
+// resumeSession restores a decoded checkpoint into a fresh session
+// built from sp. The order matters: the checkpointed cells are copied
+// into the configuration first, Reset then re-derives every
+// cells-dependent structure from them, LoadState overwrites the
+// history-dependent remainder, and the raw source state is restored
+// last, in place (the engine holds the session's source pointer), so
+// nothing later in the sequence can advance it.
+func resumeSession(sp *SessionSpec, cp *persist.Checkpoint) (*Session, error) {
+	if cp.Engine != "" && cp.Engine != sp.engine {
+		return nil, fmt.Errorf("parsurf: checkpoint is from engine %q, spec builds %q", cp.Engine, sp.engine)
+	}
+	if h := sp.Hash(); h != "" && cp.SpecHash != "" && h != cp.SpecHash {
+		return nil, fmt.Errorf("parsurf: checkpoint spec hash %s.. does not match this spec (%s..)", cp.SpecHash[:min(8, len(cp.SpecHash))], h[:8])
+	}
+	lat := cp.Config.Lattice()
+	if lat.L0 != sp.l0 || lat.L1 != sp.l1 {
+		return nil, fmt.Errorf("parsurf: checkpoint lattice %dx%d, spec has %dx%d", lat.L0, lat.L1, sp.l0, sp.l1)
+	}
+	if cp.NumSpecies != sp.NumSpecies() {
+		return nil, fmt.Errorf("parsurf: checkpoint has %d species, spec's model has %d", cp.NumSpecies, sp.NumSpecies())
+	}
+	s, err := sp.build(rng.New(sp.seed))
+	if err != nil {
+		return nil, err
+	}
+	s.cfg.CopyFrom(cp.Config)
+	s.eng.Reset(s.cfg, s.src)
+	pr := bytes.NewReader(cp.Payload)
+	if err := s.eng.LoadState(pr); err != nil {
+		return nil, fmt.Errorf("parsurf: restoring %s engine state: %w", sp.engine, err)
+	}
+	if pr.Len() != 0 {
+		return nil, fmt.Errorf("parsurf: %d trailing bytes in %s engine payload", pr.Len(), sp.engine)
+	}
+	s.src.Restore(cp.RNG.State())
+	return s, nil
+}

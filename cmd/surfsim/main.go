@@ -14,6 +14,12 @@
 //	surfsim -method ziff -y 0.52 -size 128 -t 200
 //	surfsim -model zgb -method pndca -workers 4 -replicas 16 -par 4 -t 50
 //	surfsim -spec myrun.json -t 50
+//	surfsim -spec myrun.json -t 50 -checkpoint run.ckpt
+//	surfsim -spec myrun.json -t 100 -resume run.ckpt
+//
+// -checkpoint writes an engine-exact snapshot after the run; -resume
+// restarts from one and continues to -t, producing exactly the tail the
+// uninterrupted longer run would have printed.
 //
 // A spec file is the JSON form of a parsurf.SessionSpec (see the
 // "Spec files & surfd" section of the README); for a fixed seed,
@@ -29,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"slices"
 	"sort"
 	"strings"
@@ -36,6 +43,7 @@ import (
 	"parsurf"
 	"parsurf/internal/modelfile"
 	"parsurf/internal/stats"
+	"parsurf/internal/timegrid"
 	"parsurf/internal/trace"
 )
 
@@ -65,6 +73,8 @@ func main() {
 		par       = flag.Int("par", 4, "ensemble worker goroutines")
 		plot      = flag.Bool("plot", false, "print an ASCII plot to stderr")
 		svgPath   = flag.String("svg", "", "also write an SVG chart of the coverages to this path")
+		ckptPath  = flag.String("checkpoint", "", "write an engine-exact session checkpoint to this path after the run (single session only)")
+		resume    = flag.String("resume", "", "resume the session from a checkpoint written by -checkpoint and continue to -t (single session only)")
 	)
 	flag.Parse()
 
@@ -91,7 +101,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "surfsim:", err)
 		os.Exit(1)
 	}
-	if err := run(spec, title, *tEnd, *dt, *replicas, *par, *plot, *svgPath, os.Stdout, os.Stderr); err != nil {
+	if (*ckptPath != "" || *resume != "") && *replicas != 1 {
+		fmt.Fprintln(os.Stderr, "surfsim: -checkpoint/-resume snapshot a single session; drop -replicas")
+		os.Exit(1)
+	}
+	if err := run(spec, title, *tEnd, *dt, *replicas, *par, *plot, *svgPath, *ckptPath, *resume, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "surfsim:", err)
 		os.Exit(1)
 	}
@@ -127,6 +141,60 @@ func specFlagConflict() string {
 		return ""
 	}
 	return set[0]
+}
+
+// runResumed continues a resumed session to tEnd, sampling on the
+// t=0-anchored grid the original run used (Session.Run anchors its
+// grid at the current clock, which would shift every remaining sample
+// by the checkpoint time). Grid points the checkpointed run already
+// covered are skipped, so the printed rows are exactly the tail the
+// uninterrupted run prints past the checkpoint.
+func runResumed(sess *parsurf.Session, tEnd, dt float64, record func(t float64, cfg *parsurf.Config)) error {
+	grid, err := timegrid.New(tEnd, dt)
+	if err != nil {
+		return err
+	}
+	eng := sess.Engine()
+	k0 := 0
+	for k0 < grid.Len() && grid.At(k0) <= eng.Time() {
+		k0++
+	}
+	for k := k0; k < grid.Len(); k++ {
+		if k == grid.Len()-1 && grid.Tail() && eng.Time() >= tEnd {
+			// The clock already covered the off-grid horizon; a tail
+			// sample would duplicate the previous observation.
+			break
+		}
+		target := grid.At(k)
+		if _, err := sess.Run(context.Background(), parsurf.Until(target)); err != nil {
+			return err
+		}
+		record(eng.Time(), sess.Config())
+		if eng.Time() < target {
+			// Absorbing state before the sample point: recorded once.
+			break
+		}
+	}
+	return nil
+}
+
+// writeCheckpoint snapshots the finished session to path via a
+// temporary file and rename, so a crash mid-write never leaves a
+// half-written checkpoint under the requested name.
+func writeCheckpoint(sess *parsurf.Session, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := sess.Checkpoint(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // loadSpec reads and validates a serialized session spec.
@@ -217,7 +285,7 @@ func specFromFlags(modelName, modelFile, method string, size int, seed uint64,
 }
 
 func run(spec *parsurf.SessionSpec, title string, tEnd, dt float64, replicas, par int,
-	plot bool, svgPath string, stdout, stderr io.Writer) error {
+	plot bool, svgPath, ckptPath, resumePath string, stdout, stderr io.Writer) error {
 	var names []string
 	var series []*stats.Series
 	if replicas > 1 {
@@ -231,8 +299,19 @@ func run(spec *parsurf.SessionSpec, title string, tEnd, dt float64, replicas, pa
 		names = spec.SpeciesNames()
 		series = ens.Mean
 	} else {
-		sess, err := spec.Session()
-		if err != nil {
+		var sess *parsurf.Session
+		var err error
+		if resumePath != "" {
+			f, err2 := os.Open(resumePath)
+			if err2 != nil {
+				return err2
+			}
+			sess, err = parsurf.ResumeSession(spec, f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("%s: %w", resumePath, err)
+			}
+		} else if sess, err = spec.Session(); err != nil {
 			return err
 		}
 		names = sess.SpeciesNames()
@@ -242,14 +321,24 @@ func run(spec *parsurf.SessionSpec, title string, tEnd, dt float64, replicas, pa
 			series[i] = &stats.Series{}
 		}
 		n := float64(sess.Lattice().N())
-		obs := parsurf.ObserverFunc(func(t float64, cfg *parsurf.Config) {
+		record := func(t float64, cfg *parsurf.Config) {
 			counts := cfg.CountAll(numSpecies)
 			for sp := range series {
 				series[sp].Append(t, float64(counts[sp])/n)
 			}
-		})
-		if _, err := sess.Run(context.Background(), parsurf.Until(tEnd), parsurf.SampleEvery(dt, obs)); err != nil {
+		}
+		if resumePath != "" {
+			if err := runResumed(sess, tEnd, dt, record); err != nil {
+				return err
+			}
+		} else if _, err := sess.Run(context.Background(), parsurf.Until(tEnd),
+			parsurf.SampleEvery(dt, parsurf.ObserverFunc(record))); err != nil {
 			return err
+		}
+		if ckptPath != "" {
+			if err := writeCheckpoint(sess, ckptPath); err != nil {
+				return err
+			}
 		}
 	}
 

@@ -84,10 +84,10 @@ func TestSpecFileMatchesFlagInvocation(t *testing.T) {
 
 		const tEnd, dt = 5, 0.5
 		var flagOut, fileOut, discard bytes.Buffer
-		if err := run(fromFlags.spec, fromFlags.title, tEnd, dt, tc.replicas, tc.par, false, "", &flagOut, &discard); err != nil {
+		if err := run(fromFlags.spec, fromFlags.title, tEnd, dt, tc.replicas, tc.par, false, "", "", "", &flagOut, &discard); err != nil {
 			t.Fatalf("%s flags run: %v", tc.name, err)
 		}
-		if err := run(fromFile, path, tEnd, dt, tc.replicas, tc.par, false, "", &fileOut, &discard); err != nil {
+		if err := run(fromFile, path, tEnd, dt, tc.replicas, tc.par, false, "", "", "", &fileOut, &discard); err != nil {
 			t.Fatalf("%s spec run: %v", tc.name, err)
 		}
 		if flagOut.Len() == 0 {
@@ -97,5 +97,36 @@ func TestSpecFileMatchesFlagInvocation(t *testing.T) {
 			t.Errorf("%s: -spec output differs from the flag invocation\nflags:\n%s\nspec:\n%s",
 				tc.name, flagOut.String(), fileOut.String())
 		}
+	}
+}
+
+// The -checkpoint/-resume acceptance criterion: a run to t=N that
+// snapshots, resumed and continued to t=N+M, prints exactly the tail
+// the uninterrupted t=N+M run prints past t=N.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	spec, _, err := specFromFlags("zgb", "", "ziff", 32, 7, 1, "random", 1, 4, 0.52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 0.5
+	var full, head, tail, discard bytes.Buffer
+	if err := run(spec, "control", 10, dt, 1, 1, false, "", "", "", &full, &discard); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := run(spec, "head", 5, dt, 1, 1, false, "", ckpt, "", &head, &discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(spec, "tail", 10, dt, 1, 1, false, "", "", ckpt, &tail, &discard); err != nil {
+		t.Fatal(err)
+	}
+	// full = header + rows(0..10); head = header + rows(0..5);
+	// tail = header + rows past 5. Their concatenation modulo the
+	// repeated header must be the uninterrupted run.
+	tailRows := bytes.SplitN(tail.Bytes(), []byte("\n"), 2)[1]
+	glued := append(append([]byte{}, head.Bytes()...), tailRows...)
+	if !bytes.Equal(glued, full.Bytes()) {
+		t.Errorf("resumed run differs from uninterrupted control\ncontrol:\n%s\nglued:\n%s",
+			full.String(), string(glued))
 	}
 }

@@ -69,12 +69,33 @@ type Ensemble struct {
 // every remaining grid point with the final state.
 type ReplicaObserver func(variant, replica int, t float64, sess *Session)
 
+// ReplicaCheckpoint is a per-replica checkpoint hook invoked on the
+// replica's worker goroutine after each grid point is recorded: k is
+// the grid index just sampled, sess the live session (safe to
+// Checkpoint — taking a snapshot draws no randomness), and values the
+// replica's sample matrix (species × grid points) with columns 0..k
+// filled. The hook decides when a snapshot is actually worth taking
+// (e.g. rate-limiting by wall clock); returning without doing anything
+// costs nothing. Like ReplicaObserver, calls for different replicas are
+// concurrent.
+type ReplicaCheckpoint func(variant, replica, k int, sess *Session, values [][]float64)
+
+// ReplicaResume is consulted once per replica before it runs. Returning
+// ok=true hands the runner a session restored mid-trajectory plus the
+// already-recorded sample rows: the replica continues from grid index
+// nextK (rows must hold at least nextK samples per species) instead of
+// running from scratch. Returning ok=false runs the replica normally.
+// Replica observers do not re-fire for the skipped points.
+type ReplicaResume func(variant, replica int) (sess *Session, nextK int, rows [][]float64, ok bool)
+
 // EnsembleOption configures RunEnsemble / RunSweep.
 type EnsembleOption func(*ensembleConfig)
 
 type ensembleConfig struct {
-	keep      bool
-	observers []ReplicaObserver
+	keep       bool
+	observers  []ReplicaObserver
+	checkpoint ReplicaCheckpoint
+	resume     ReplicaResume
 }
 
 // KeepReplicas retains every replica's session and coverage series on
@@ -91,6 +112,21 @@ func KeepReplicas() EnsembleOption {
 // without retaining whole replicas.
 func ObserveReplicas(obs ReplicaObserver) EnsembleOption {
 	return func(c *ensembleConfig) { c.observers = append(c.observers, obs) }
+}
+
+// CheckpointReplicas registers the per-replica checkpoint hook (see
+// ReplicaCheckpoint). At most one hook is active; later options win.
+func CheckpointReplicas(fn ReplicaCheckpoint) EnsembleOption {
+	return func(c *ensembleConfig) { c.checkpoint = fn }
+}
+
+// ResumeReplicas registers the per-replica resume provider (see
+// ReplicaResume). The provider is only consulted on the streaming
+// (default) path; under KeepReplicas every member runs from scratch,
+// which is slower but produces identical results. At most one provider
+// is active; later options win.
+func ResumeReplicas(fn ReplicaResume) EnsembleOption {
+	return func(c *ensembleConfig) { c.resume = fn }
 }
 
 // replicaStreamID derives replica i's engine stream from the spec seed.
@@ -263,6 +299,8 @@ func RunSweep(ctx context.Context, specs []*SessionSpec, replicas, workers int, 
 		)
 		if cfg.keep {
 			rep, values, err = runReplicaFresh(ctx, specs[v], v, i, grid, times, &cfg)
+		} else if sess, k0, rows, ok := resumeFor(&cfg, v, i); ok {
+			values, err = runReplicaResumed(ctx, specs[v], v, i, grid, k0, sess, rows, bufs[v], &cfg)
 		} else {
 			values, err = runReplicaPooled(ctx, specs[v], v, i, grid, slots[v], bufs[v], &cfg)
 		}
@@ -306,8 +344,15 @@ func seriesOnGrid(times []float64, rows [][]float64) []*Series {
 // firing the replica observers. counts is the occupancy scratch; the
 // possibly-grown slice is returned for reuse.
 func sampleOnGrid(ctx context.Context, sess *Session, variant, i int, grid TimeGrid, values [][]float64, counts []int, cfg *ensembleConfig) (scratch []int, steps int, err error) {
+	return sampleOnGridFrom(ctx, sess, variant, i, grid, 0, values, counts, cfg)
+}
+
+// sampleOnGridFrom is sampleOnGrid starting at grid index k0 — the
+// resume path, where columns before k0 were recorded by the interrupted
+// run and arrive pre-filled.
+func sampleOnGridFrom(ctx context.Context, sess *Session, variant, i int, grid TimeGrid, k0 int, values [][]float64, counts []int, cfg *ensembleConfig) (scratch []int, steps int, err error) {
 	n := float64(sess.Lattice().N())
-	steps, err = sim.RunGrid(ctx, sess.Engine(), grid, func(k int, c *Config) {
+	steps, err = sim.RunGridFrom(ctx, sess.Engine(), grid, k0, func(k int, c *Config) {
 		counts = c.CountInto(counts)
 		for sp := range values {
 			values[sp][k] = float64(counts[sp]) / n
@@ -315,8 +360,47 @@ func sampleOnGrid(ctx context.Context, sess *Session, variant, i int, grid TimeG
 		for _, obs := range cfg.observers {
 			obs(variant, i, grid.At(k), sess)
 		}
+		if cfg.checkpoint != nil {
+			cfg.checkpoint(variant, i, k, sess, values)
+		}
 	})
 	return counts, steps, err
+}
+
+// resumeFor consults the resume provider, if any.
+func resumeFor(cfg *ensembleConfig, variant, i int) (*Session, int, [][]float64, bool) {
+	if cfg.resume == nil {
+		return nil, 0, nil, false
+	}
+	return cfg.resume(variant, i)
+}
+
+// runReplicaResumed continues ensemble member i from a checkpoint: the
+// provider's session is already positioned mid-trajectory, the recorded
+// rows pre-fill the sample matrix up to (excluding) grid index k0, and
+// sampling continues from k0. The session is not pooled — it was built
+// by the provider, and a resumed replica is a one-off.
+func runReplicaResumed(ctx context.Context, spec *SessionSpec, variant, i int, grid TimeGrid, k0 int, sess *Session, rows [][]float64, bufs *valuesPool, cfg *ensembleConfig) ([][]float64, error) {
+	if k0 < 0 || k0 > grid.Len() {
+		return nil, fmt.Errorf("parsurf: resume index %d outside grid of %d points", k0, grid.Len())
+	}
+	if len(rows) != spec.NumSpecies() {
+		return nil, fmt.Errorf("parsurf: resume rows cover %d species, spec has %d", len(rows), spec.NumSpecies())
+	}
+	values := bufs.get()
+	for sp := range values {
+		if len(rows[sp]) < k0 {
+			bufs.put(values)
+			return nil, fmt.Errorf("parsurf: resume rows hold %d samples, need %d", len(rows[sp]), k0)
+		}
+		copy(values[sp][:k0], rows[sp][:k0])
+	}
+	_, _, err := sampleOnGridFrom(ctx, sess, variant, i, grid, k0, values, make([]int, spec.NumSpecies()), cfg)
+	if err != nil {
+		bufs.put(values)
+		return nil, err
+	}
+	return values, nil
 }
 
 // runReplicaFresh builds and runs ensemble member i of variant spec

@@ -50,6 +50,39 @@ func (q *Queue) Reset() {
 // Len returns the number of scheduled events.
 func (q *Queue) Len() int { return len(q.heap) }
 
+// Snapshot appends the events in internal heap order to dst and
+// returns it. Restoring the exact array order (rather than re-inserting
+// events one by one) makes a restored queue bit-identical to the
+// original: subsequent Schedule/Remove sift sequences, and therefore
+// tie-breaks between equal times, replay exactly.
+func (q *Queue) Snapshot(dst []Event) []Event {
+	return append(dst, q.heap...)
+}
+
+// Restore replaces the queue's contents with a Snapshot, placing the
+// events verbatim (no sifting) and rebuilding the key index. Events
+// must have keys in [0, KeySpace()) with no duplicates; the slice must
+// already satisfy the heap property, which Snapshot output does.
+func (q *Queue) Restore(events []Event) error {
+	for _, ev := range q.heap {
+		q.pos[ev.Key] = 0
+	}
+	q.heap = q.heap[:0]
+	for i, ev := range events {
+		if ev.Key < 0 || ev.Key >= int64(len(q.pos)) {
+			q.Reset()
+			return fmt.Errorf("eventq: restored key %d outside [0,%d)", ev.Key, len(q.pos))
+		}
+		if q.pos[ev.Key] != 0 {
+			q.Reset()
+			return fmt.Errorf("eventq: duplicate restored key %d", ev.Key)
+		}
+		q.heap = append(q.heap, ev)
+		q.pos[ev.Key] = int32(i + 1)
+	}
+	return nil
+}
+
 // Schedule inserts an event, or reschedules the existing event with the
 // same key to the new time. Rescheduling to the exact time already held
 // is a no-op: the heap property cannot have changed, so the sift is

@@ -150,3 +150,24 @@ func (t *Tree) Reset() {
 	}
 	t.adds = 0
 }
+
+// State appends the raw internal node array (including the unused
+// 0th slot) to dst and returns it together with the Add counter.
+// Together with Restore it round-trips the tree bit-exactly — a
+// rebuild from true leaf values would clear the accumulated
+// floating-point drift and so change subsequent weighted draws, which
+// checkpoint/resume must not do.
+func (t *Tree) State(dst []float64) ([]float64, uint64) {
+	return append(dst, t.tree...), t.adds
+}
+
+// Restore overwrites the internal nodes and Add counter with a state
+// captured by State. The node slice must match the tree's size.
+func (t *Tree) Restore(nodes []float64, adds uint64) error {
+	if len(nodes) != t.n+1 {
+		return fmt.Errorf("fenwick: restoring %d nodes into a tree of %d", len(nodes), t.n+1)
+	}
+	copy(t.tree, nodes)
+	t.adds = adds
+	return nil
+}

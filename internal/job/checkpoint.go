@@ -1,0 +1,187 @@
+// Replica checkpointing: the durable manager's preemption layer. While
+// a job runs, each replica periodically snapshots itself into the store
+// — the engine-exact session checkpoint plus the sample rows already
+// recorded on the grid — keyed by the job's content hash and the
+// replica's slot index. After a crash or kill, recovery re-queues the
+// job and its replicas resume from their latest valid snapshots,
+// continuing the trajectory bit for bit; the merged result is
+// byte-identical to an uninterrupted run. Invalid or stale snapshots
+// are skipped silently (the replica just re-runs from zero): a
+// checkpoint is an optimization, never a correctness dependency.
+
+package job
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"time"
+
+	"parsurf"
+	"parsurf/internal/persist"
+)
+
+const (
+	// replicaCkptVersion versions the replica checkpoint blob layout.
+	replicaCkptVersion = 1
+	// maxCkptSession bounds the embedded session checkpoint when
+	// decoding untrusted blob bytes.
+	maxCkptSession = 1 << 27
+	// maxCkptPoints bounds the recorded grid columns when decoding.
+	maxCkptPoints = 1 << 24
+)
+
+// encodeReplicaCheckpoint serializes one replica snapshot: identity
+// (variant, replica), the number of grid points already recorded, the
+// recorded sample rows, and the session's engine-exact checkpoint.
+func encodeReplicaCheckpoint(variant, replica, nextK int, sess *parsurf.Session, values [][]float64) ([]byte, error) {
+	var cp bytes.Buffer
+	if err := sess.Checkpoint(&cp); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	e := persist.NewWriter(&buf)
+	e.U32(replicaCkptVersion)
+	e.U32(uint32(variant))
+	e.U32(uint32(replica))
+	e.U32(uint32(nextK))
+	e.U32(uint32(len(values)))
+	for _, row := range values {
+		for _, x := range row[:nextK] {
+			e.F64(x)
+		}
+	}
+	e.Block(cp.Bytes())
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeReplicaCheckpoint parses a blob written by
+// encodeReplicaCheckpoint.
+func decodeReplicaCheckpoint(data []byte) (variant, replica, nextK int, rows [][]float64, session []byte, err error) {
+	d := persist.NewReader(bytes.NewReader(data))
+	if v := d.U32(); d.Err() == nil && v != replicaCkptVersion {
+		d.Failf("job: replica checkpoint version %d, want %d", v, replicaCkptVersion)
+	}
+	variant = int(d.U32())
+	replica = int(d.U32())
+	k := d.U32()
+	species := d.U32()
+	if d.Err() == nil && (k < 1 || k > maxCkptPoints) {
+		d.Failf("job: replica checkpoint records %d grid points", k)
+	}
+	if d.Err() == nil && (species < 1 || species > 256) {
+		d.Failf("job: replica checkpoint carries %d species", species)
+	}
+	if d.Err() != nil {
+		return 0, 0, 0, nil, nil, d.Err()
+	}
+	rows = make([][]float64, species)
+	for sp := range rows {
+		rows[sp] = make([]float64, k)
+		for i := range rows[sp] {
+			rows[sp][i] = d.F64()
+		}
+	}
+	session = d.Block(maxCkptSession)
+	if err := d.Err(); err != nil {
+		return 0, 0, 0, nil, nil, err
+	}
+	return variant, replica, int(k), rows, session, nil
+}
+
+// checkpointer rate-limits and writes replica snapshots for one job
+// run. Each slot's lastSnap entry is touched only by the goroutine
+// driving that replica (the ensemble runner pins a replica to one
+// worker for its whole duration), so no locking is needed.
+type checkpointer struct {
+	j        *Job
+	interval time.Duration
+	lastSnap []time.Time
+}
+
+// newCheckpointer returns the job's checkpoint hook carrier, or nil
+// when checkpointing is off (no store, no hash, or a zero interval).
+func (j *Job) newCheckpointer() *checkpointer {
+	if j.mgr.st == nil || j.hash == "" || j.mgr.ckptEvery <= 0 {
+		return nil
+	}
+	slots := len(j.req.Specs) * j.req.Replicas
+	last := make([]time.Time, slots)
+	now := time.Now()
+	for i := range last {
+		last[i] = now // first snapshot comes one interval into the run
+	}
+	return &checkpointer{j: j, interval: j.mgr.ckptEvery, lastSnap: last}
+}
+
+// hook is the parsurf.ReplicaCheckpoint: called after every grid point,
+// it snapshots the replica when its interval has elapsed. Failures are
+// swallowed — a missed snapshot only widens the window a crash can lose.
+func (c *checkpointer) hook(variant, replica, k int, sess *parsurf.Session, values [][]float64) {
+	slot := variant*c.j.req.Replicas + replica
+	if time.Since(c.lastSnap[slot]) < c.interval {
+		return
+	}
+	c.lastSnap[slot] = time.Now()
+	blob, err := encodeReplicaCheckpoint(variant, replica, k+1, sess, values)
+	if err != nil {
+		return
+	}
+	_ = c.j.mgr.st.PutCheckpoint(c.j.hash, strconv.Itoa(slot), blob)
+}
+
+// resumeProvider returns the parsurf.ReplicaResume for this run, or nil
+// when there is nothing to resume from. It loads whatever snapshots the
+// store holds under the job's hash up front (the blobs are about to be
+// consumed by the run's own replicas) and validates each lazily, per
+// replica: any snapshot that fails to decode, names the wrong slot, or
+// no longer matches the spec is skipped and the replica runs from zero.
+func (j *Job) resumeProvider() parsurf.ReplicaResume {
+	st := j.mgr.st
+	if st == nil || j.hash == "" {
+		return nil
+	}
+	slots, err := st.Checkpoints(j.hash)
+	if err != nil || len(slots) == 0 {
+		return nil
+	}
+	blobs := make(map[int][]byte, len(slots))
+	for _, s := range slots {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			continue
+		}
+		if data, err := st.GetCheckpoint(j.hash, s); err == nil {
+			blobs[n] = data
+		}
+	}
+	if len(blobs) == 0 {
+		return nil
+	}
+	return func(variant, replica int) (*parsurf.Session, int, [][]float64, bool) {
+		slot := variant*j.req.Replicas + replica
+		data, ok := blobs[slot]
+		if !ok {
+			return nil, 0, nil, false
+		}
+		v, r, nextK, rows, cpBytes, err := decodeReplicaCheckpoint(data)
+		if err != nil || v != variant || r != replica || nextK > j.gridLen ||
+			len(rows) != j.req.Specs[variant].NumSpecies() {
+			return nil, 0, nil, false
+		}
+		sess, err := parsurf.ResumeSession(j.req.Specs[variant], bytes.NewReader(cpBytes))
+		if err != nil {
+			return nil, 0, nil, false
+		}
+		// Pre-fill the progress slots with the resumed position so the
+		// first status snapshot already reflects the carried-over work.
+		j.slotSteps[slot].Store(sess.Engine().Steps())
+		j.slotTime[slot].Store(math.Float64bits(sess.Engine().Time()))
+		j.merged.Add(int64(nextK))
+		j.resumed.Add(1)
+		return sess, nextK, rows, true
+	}
+}

@@ -64,11 +64,16 @@ const (
 	// StateCancelled marks a job stopped by Cancel (or manager
 	// shutdown) before completing.
 	StateCancelled State = "cancelled"
+	// StateQuarantined marks a poison job: one whose record could not be
+	// recovered, or whose runs crashed the process MaxAttempts times.
+	// Quarantined jobs never re-queue; they keep their record (and
+	// error) for inspection.
+	StateQuarantined State = "quarantined"
 )
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateQuarantined
 }
 
 // Request describes one job: which specs to run and how to sample
@@ -123,7 +128,13 @@ type Status struct {
 	Hash string `json:"hash,omitempty"`
 	// Cached marks a job answered from the result cache without
 	// running (its progress counters stay zero).
-	Cached   bool     `json:"cached,omitempty"`
+	Cached bool `json:"cached,omitempty"`
+	// Attempts counts crash-interrupted runs of this job (see
+	// store.JobRecord.Attempts).
+	Attempts int `json:"attempts,omitempty"`
+	// Resumed counts replicas restored from a stored checkpoint instead
+	// of running from scratch.
+	Resumed  int64    `json:"resumed,omitempty"`
 	Progress Progress `json:"progress"`
 }
 
@@ -138,6 +149,15 @@ type Job struct {
 	rawReq    json.RawMessage // stored request bytes; nil on store-less managers
 	cached    bool
 	submitted time.Time
+
+	// attempts is the crash-interruption count carried over from the
+	// stored record; set before the job is visible, read-only after.
+	attempts int
+	// notBefore delays a crash-recovered job's restart (exponential
+	// backoff); zero for fresh submissions.
+	notBefore time.Time
+	// resumed counts replicas restored from a stored checkpoint.
+	resumed atomic.Int64
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -192,6 +212,7 @@ func (j *Job) Cancel() {
 	j.cancel()
 	if j.setState(StateCancelled, context.Canceled, nil) {
 		j.persist(StateCancelled, context.Canceled)
+		j.dropCheckpoints()
 	}
 }
 
@@ -200,7 +221,8 @@ func (j *Job) Status() Status {
 	j.mu.Lock()
 	state, err := j.state, j.err
 	j.mu.Unlock()
-	st := Status{ID: j.id, State: state, Hash: j.hash, Cached: j.cached, Progress: j.progress()}
+	st := Status{ID: j.id, State: state, Hash: j.hash, Cached: j.cached,
+		Attempts: j.attempts, Resumed: j.resumed.Load(), Progress: j.progress()}
 	if err != nil {
 		st.Error = err.Error()
 	}
@@ -341,6 +363,7 @@ func (j *Job) persist(s State, err error) {
 		Hash:      j.hash,
 		State:     string(s),
 		Cached:    j.cached,
+		Attempts:  j.attempts,
 		Submitted: j.submitted.UnixNano(),
 		Request:   j.rawReq,
 	}
@@ -350,18 +373,48 @@ func (j *Job) persist(s State, err error) {
 	_ = st.PutJob(rec)
 }
 
+// dropCheckpoints discards the job's stored replica checkpoints — a
+// terminal job no longer resumes. Best-effort: leftover checkpoints are
+// only dead weight (a later run with the same hash validates against
+// them and either resumes correctly or starts over).
+func (j *Job) dropCheckpoints() {
+	if st := j.mgr.st; st != nil && j.hash != "" {
+		_ = st.DeleteCheckpoints(j.hash)
+	}
+}
+
 // run executes the job on the calling runner goroutine.
 func (j *Job) run() {
 	if j.ctx.Err() != nil {
 		j.finishErr(j.ctx.Err())
 		return
 	}
+	// A crash-recovered job waits out its backoff before re-running, so
+	// a job that kills the process quickly cannot crash-loop it at full
+	// speed. Cancellation cuts the wait short.
+	if delay := time.Until(j.notBefore); delay > 0 {
+		t := time.NewTimer(delay)
+		select {
+		case <-j.ctx.Done():
+			t.Stop()
+			j.finishErr(j.ctx.Err())
+			return
+		case <-t.C:
+		}
+	}
 	if j.setState(StateRunning, nil, nil) {
 		j.mgr.started.Add(1)
 		j.persist(StateRunning, nil)
 	}
+	runOpts := []parsurf.EnsembleOption{parsurf.ObserveReplicas(j.observe)}
+	if ck := j.newCheckpointer(); ck != nil {
+		runOpts = append(runOpts, parsurf.CheckpointReplicas(ck.hook))
+	}
+	if rp := j.resumeProvider(); rp != nil {
+		runOpts = append(runOpts, parsurf.ResumeReplicas(rp))
+	}
 	ens, err := parsurf.RunSweep(j.ctx, j.req.Specs, j.req.Replicas, j.req.Workers,
-		j.req.Until, j.req.Every, parsurf.ObserveReplicas(j.observe))
+		j.req.Until, j.req.Every, runOpts...)
 	if err != nil {
 		j.finishErr(err)
 		return
@@ -381,6 +434,7 @@ func (j *Job) run() {
 			}
 		}
 		j.persist(StateDone, nil)
+		j.dropCheckpoints()
 	}
 }
 
@@ -394,7 +448,11 @@ func (j *Job) finishErr(err error) {
 		if j.setState(StateCancelled, err, nil) {
 			if j.userCancel.Load() {
 				j.persist(StateCancelled, err)
+				j.dropCheckpoints()
 			} else {
+				// Shutdown-induced: the stored record stays resumable and
+				// the replica checkpoints stay in place, so the next boot
+				// continues the job from its last snapshots.
 				j.persist(StateQueued, nil)
 			}
 		}
@@ -402,6 +460,7 @@ func (j *Job) finishErr(err error) {
 	}
 	if j.setState(StateFailed, err, nil) {
 		j.persist(StateFailed, err)
+		j.dropCheckpoints()
 	}
 }
 
@@ -507,6 +566,12 @@ func contentHash(specs []json.RawMessage, replicas int, until, every float64) st
 type Manager struct {
 	st store.Store // nil: in-memory only
 
+	// ckptEvery is the minimum wall-clock interval between replica
+	// checkpoints; 0 disables checkpointing.
+	ckptEvery time.Duration
+	// maxAttempts bounds crash-interrupted runs before quarantine.
+	maxAttempts int
+
 	// started counts jobs that actually executed (entered RunSweep) —
 	// cache hits never increment it, which is what lets tests and the
 	// CI durability check assert "served from cache" without timing.
@@ -527,13 +592,42 @@ type Manager struct {
 // no explicit backlog.
 const DefaultBacklog = 256
 
+// DefaultMaxAttempts is how many crash-interrupted runs a job gets
+// before recovery quarantines it instead of re-queueing.
+const DefaultMaxAttempts = 3
+
+// ManagerOption configures a Manager beyond its pool shape.
+type ManagerOption func(*Manager)
+
+// CheckpointEvery makes a durable manager snapshot each running replica
+// into the store at most once per interval d (checked at the replica's
+// grid points). A crash or shutdown then costs at most d of simulated
+// work per replica: the next boot resumes each replica from its latest
+// valid snapshot instead of replaying from zero. d <= 0 (the default)
+// disables checkpointing; the option has no effect on store-less
+// managers.
+func CheckpointEvery(d time.Duration) ManagerOption {
+	return func(m *Manager) { m.ckptEvery = d }
+}
+
+// MaxAttempts sets how many crash-interrupted runs a job gets before it
+// is quarantined (default DefaultMaxAttempts). Values below 1 are
+// ignored.
+func MaxAttempts(n int) ManagerOption {
+	return func(m *Manager) {
+		if n >= 1 {
+			m.maxAttempts = n
+		}
+	}
+}
+
 // NewManager starts an in-memory manager with the given number of
 // concurrent job runners and queue capacity (DefaultBacklog when
 // backlog <= 0). Each job additionally fans its replicas over its own
 // Request.Workers goroutines, so the peak goroutine budget is
 // runners × workers.
-func NewManager(runners, backlog int) *Manager {
-	return newManager(runners, backlog, nil)
+func NewManager(runners, backlog int, opts ...ManagerOption) *Manager {
+	return newManager(runners, backlog, nil, opts...)
 }
 
 // NewManagerWithStore starts a durable manager: submissions persist
@@ -542,9 +636,18 @@ func NewManager(runners, backlog int) *Manager {
 // recovered before the manager accepts new work — completed jobs serve
 // their stored results, failed/cancelled jobs keep their terminal
 // status, and jobs that were queued or running when the previous
-// process died are re-queued in their original submission order. The
-// backlog grows to fit the recovered active set if needed.
-func NewManagerWithStore(runners, backlog int, st store.Store) (*Manager, error) {
+// process died are re-queued in their original submission order (with
+// their replicas resuming from stored checkpoints, when the manager
+// checkpoints). The backlog grows to fit the recovered active set if
+// needed.
+//
+// Recovery is poison-tolerant: a record that no longer decodes is
+// quarantined (kept visible with its error, never re-run) instead of
+// failing the whole boot, and a job found mid-run for the
+// MaxAttempts'th time — one that keeps crashing the process — is
+// quarantined too. Re-queued crash survivors restart under exponential
+// backoff.
+func NewManagerWithStore(runners, backlog int, st store.Store, opts ...ManagerOption) (*Manager, error) {
 	if st == nil {
 		return nil, fmt.Errorf("job: NewManagerWithStore needs a store")
 	}
@@ -558,62 +661,106 @@ func NewManagerWithStore(runners, backlog int, st store.Store) (*Manager, error)
 		}
 		return recs[a].Seq < recs[b].Seq
 	})
-	// Decode everything before starting runners, so recovery either
-	// fully succeeds or reports the corrupt record without side
-	// effects; active jobs are counted so the queue can hold them all.
-	type recovered struct {
-		rec     *store.JobRecord
-		req     Request
-		gridLen int
-		active  bool
-	}
-	rjobs := make([]recovered, 0, len(recs))
-	active := 0
-	for _, rec := range recs {
-		req, err := decodeRequest(rec.Request)
-		if err != nil {
-			return nil, fmt.Errorf("job: recovering %s: %w", rec.ID, err)
-		}
-		grid, err := parsurf.NewTimeGrid(req.Until, req.Every)
-		if err != nil {
-			return nil, fmt.Errorf("job: recovering %s: %w", rec.ID, err)
-		}
-		r := recovered{rec: rec, req: req, gridLen: grid.Len()}
-		switch State(rec.State) {
-		case StateQueued, StateRunning:
-			r.active = true
-			active++
-		case StateDone, StateFailed, StateCancelled:
-		default:
-			return nil, fmt.Errorf("job: record %s has unknown state %q", rec.ID, rec.State)
-		}
-		rjobs = append(rjobs, r)
-	}
 	if backlog <= 0 {
 		backlog = DefaultBacklog
 	}
-	if active > backlog {
-		backlog = active
+	if len(recs) > backlog {
+		backlog = len(recs) // active set can never exceed the record count
 	}
-	m := newManager(runners, backlog, st)
-	for _, r := range rjobs {
-		j := m.rebuild(r.rec, r.req, r.gridLen)
+	m := newManager(runners, backlog, st, opts...)
+	for _, rec := range recs {
+		j, active := m.recover(rec)
 		m.mu.Lock()
 		m.jobs[j.id] = j
 		if j.seq > m.nextID {
 			m.nextID = j.seq
 		}
 		m.mu.Unlock()
-		if r.active {
-			// A record found at "running" died mid-run; re-persist it
-			// as queued so its stored state matches the re-queue.
-			if State(r.rec.State) == StateRunning {
-				j.persist(StateQueued, nil)
-			}
+		if active {
 			m.queue <- j // sized above: cannot block
 		}
 	}
 	return m, nil
+}
+
+// recover rebuilds one stored record into a job, deciding its fate:
+// terminal records stay as they are, active ones re-queue (crash
+// survivors with backoff), and anything undecodable or past its crash
+// budget is quarantined.
+func (m *Manager) recover(rec *store.JobRecord) (j *Job, active bool) {
+	quarantine := func(qerr error) *Job {
+		j := m.rebuildStub(rec, qerr)
+		j.persist(StateQuarantined, qerr)
+		j.dropCheckpoints()
+		return j
+	}
+	req, err := decodeRequest(rec.Request)
+	if err != nil {
+		return quarantine(fmt.Errorf("recovering %s: %w", rec.ID, err)), false
+	}
+	grid, err := parsurf.NewTimeGrid(req.Until, req.Every)
+	if err != nil {
+		return quarantine(fmt.Errorf("recovering %s: %w", rec.ID, err)), false
+	}
+	switch State(rec.State) {
+	case StateQueued:
+	case StateRunning:
+		// Found mid-run: the previous process died (or was killed)
+		// while this job executed. Charge an attempt; past the budget
+		// the job is poison.
+		rec.Attempts++
+		if rec.Attempts >= m.maxAttempts {
+			return quarantine(fmt.Errorf("run was interrupted %d times; quarantined as a poison job", rec.Attempts)), false
+		}
+	case StateDone, StateFailed, StateCancelled, StateQuarantined:
+		return m.rebuild(rec, req, grid.Len()), false
+	default:
+		return quarantine(fmt.Errorf("record %s has unknown state %q", rec.ID, rec.State)), false
+	}
+	j = m.rebuild(rec, req, grid.Len())
+	if j.attempts > 0 {
+		j.notBefore = time.Now().Add(backoff(j.attempts))
+	}
+	// Re-persist as queued (with the attempt charge) so the stored
+	// state matches the re-queue.
+	j.persist(StateQueued, nil)
+	return j, true
+}
+
+// backoff is the restart delay after the nth crash interruption.
+func backoff(n int) time.Duration {
+	if n < 1 {
+		return 0
+	}
+	if d := time.Second << (n - 1); d < 30*time.Second {
+		return d
+	}
+	return 30 * time.Second
+}
+
+// rebuildStub builds a quarantined placeholder for a record whose
+// request cannot run: visible in listings with its error, terminal from
+// birth.
+func (m *Manager) rebuildStub(rec *store.JobRecord, qerr error) *Job {
+	ctx, cancel := context.WithCancel(m.ctx)
+	j := &Job{
+		id:        rec.ID,
+		seq:       rec.Seq,
+		mgr:       m,
+		hash:      rec.Hash,
+		rawReq:    rec.Request,
+		cached:    rec.Cached,
+		attempts:  rec.Attempts,
+		submitted: time.Unix(0, rec.Submitted),
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StateQuarantined,
+		err:       qerr,
+		done:      make(chan struct{}),
+	}
+	close(j.done)
+	cancel()
+	return j
 }
 
 // rebuild constructs the in-memory job for a stored record. Recovered
@@ -630,6 +777,7 @@ func (m *Manager) rebuild(rec *store.JobRecord, req Request, gridLen int) *Job {
 		hash:      rec.Hash,
 		rawReq:    rec.Request,
 		cached:    rec.Cached,
+		attempts:  rec.Attempts,
 		submitted: time.Unix(0, rec.Submitted),
 		ctx:       ctx,
 		cancel:    cancel,
@@ -655,7 +803,7 @@ func (m *Manager) rebuild(rec *store.JobRecord, req Request, gridLen int) *Job {
 }
 
 // newManager builds the manager and starts its runner goroutines.
-func newManager(runners, backlog int, st store.Store) *Manager {
+func newManager(runners, backlog int, st store.Store, opts ...ManagerOption) *Manager {
 	if runners < 1 {
 		runners = 1
 	}
@@ -664,11 +812,15 @@ func newManager(runners, backlog int, st store.Store) *Manager {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		st:     st,
-		jobs:   make(map[string]*Job),
-		queue:  make(chan *Job, backlog),
-		ctx:    ctx,
-		cancel: cancel,
+		st:          st,
+		maxAttempts: DefaultMaxAttempts,
+		jobs:        make(map[string]*Job),
+		queue:       make(chan *Job, backlog),
+		ctx:         ctx,
+		cancel:      cancel,
+	}
+	for _, opt := range opts {
+		opt(m)
 	}
 	m.wg.Add(runners)
 	for i := 0; i < runners; i++ {

@@ -30,6 +30,13 @@ type Server struct {
 	version string
 	// eventInterval paces SSE progress frames between state changes.
 	eventInterval time.Duration
+	// heartbeatInterval paces SSE comment frames that keep idle
+	// connections alive through proxies and surface dead peers.
+	heartbeatInterval time.Duration
+	// writeTimeout bounds each SSE write; a peer that stops draining
+	// the stream is disconnected instead of blocking the handler
+	// goroutine forever.
+	writeTimeout time.Duration
 }
 
 // SubmitRequest is the POST /jobs body: one spec (or several sweep
@@ -73,7 +80,14 @@ type EventFrame struct {
 
 // NewServer wraps a manager in the HTTP API.
 func NewServer(mgr *Manager) *Server {
-	s := &Server{mgr: mgr, mux: http.NewServeMux(), version: "dev", eventInterval: 250 * time.Millisecond}
+	s := &Server{
+		mgr:               mgr,
+		mux:               http.NewServeMux(),
+		version:           "dev",
+		eventInterval:     250 * time.Millisecond,
+		heartbeatInterval: 15 * time.Second,
+		writeTimeout:      10 * time.Second,
+	}
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
@@ -186,8 +200,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents streams SSE progress frames — "event: progress" while
 // the job advances, one final "event: done" carrying the terminal
-// status — so clients follow a job without polling. The stream ends at
-// the terminal frame or when the client hangs up.
+// status — so clients follow a job without polling. Between frames the
+// stream carries periodic ": heartbeat" comment lines so idle
+// connections stay alive through proxies, and every write runs under a
+// per-write deadline so a peer that stops reading is disconnected
+// instead of parking the handler goroutine. The stream ends at the
+// terminal frame, on a stalled peer, or when the client hangs up.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(w, r)
 	if !ok {
@@ -204,13 +222,30 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
 	w.WriteHeader(http.StatusOK)
 
+	// arm bounds the next write. Not every ResponseWriter supports
+	// deadlines (httptest recorders don't); those stream without one.
+	rc := http.NewResponseController(w)
+	arm := func() {
+		if s.writeTimeout > 0 {
+			rc.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		}
+	}
 	send := func(event string) bool {
 		frame := EventFrame{Status: j.Status(), ReplicaTimes: j.ReplicaTimes()}
 		data, err := json.Marshal(frame)
 		if err != nil {
 			return false
 		}
+		arm()
 		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	heartbeat := func() bool {
+		arm()
+		if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
 			return false
 		}
 		flusher.Flush()
@@ -228,6 +263,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	ticker := time.NewTicker(s.eventInterval)
 	defer ticker.Stop()
+	pulse := time.NewTicker(s.heartbeatInterval)
+	defer pulse.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
@@ -237,6 +274,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-ticker.C:
 			if !send("progress") {
+				return
+			}
+		case <-pulse.C:
+			if !heartbeat() {
 				return
 			}
 		}

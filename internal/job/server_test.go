@@ -241,6 +241,8 @@ func readSSE(t *testing.T, r io.Reader, until string) []sseFrame {
 			cur.event = strings.TrimPrefix(line, "event: ")
 		case strings.HasPrefix(line, "data: "):
 			cur.data = strings.TrimPrefix(line, "data: ")
+		case strings.HasPrefix(line, ":"):
+			// Comment frame (heartbeat): not an event.
 		default:
 			t.Fatalf("unexpected SSE line %q", line)
 		}
@@ -313,6 +315,68 @@ func TestServerSSEEvents(t *testing.T) {
 	defer resp2.Body.Close()
 	if frames := readSSE(t, resp2.Body, "done"); len(frames) != 1 {
 		t.Fatalf("terminal-job stream sent %d frames, want 1", len(frames))
+	}
+}
+
+// Between progress frames the event stream carries ": heartbeat"
+// comment lines, keeping idle proxied connections alive without
+// emitting spurious events.
+func TestServerSSEHeartbeat(t *testing.T) {
+	m := NewManager(1, 0)
+	defer m.Close()
+	srv := NewServer(m)
+	// Progress frames effectively off; heartbeats fast.
+	srv.eventInterval = time.Hour
+	srv.heartbeatInterval = 2 * time.Millisecond
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	long := `{
+	  "spec": {"lattice": {"l0": 24, "l1": 24}, "engine": {"name": "ziff", "y": 0.51}},
+	  "replicas": 1, "workers": 1, "until": 1e9, "every": 1e6
+	}`
+	code, body := postJSON(t, ts.URL+"/jobs", long)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	heartbeats, events := 0, 0
+	for sc.Scan() && heartbeats < 5 {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, ": heartbeat"):
+			heartbeats++
+		case strings.HasPrefix(line, "event: "):
+			events++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if heartbeats < 5 {
+		t.Fatalf("stream ended after %d heartbeats", heartbeats)
+	}
+	// Only the initial progress frame; every later keep-alive is a
+	// comment, not an event.
+	if events != 1 {
+		t.Fatalf("%d event frames alongside heartbeats, want 1", events)
+	}
+
+	// The terminal frame still arrives through the heartbeat cadence.
+	postJSON(t, ts.URL+"/jobs/"+st.ID+"/cancel", "")
+	frames := readSSE(t, resp.Body, "done")
+	if last := frames[len(frames)-1]; last.event != "done" {
+		t.Fatalf("final frame event %q", last.event)
 	}
 }
 

@@ -409,9 +409,10 @@ func TestJobsOrderedAfterRecovery(t *testing.T) {
 	waitTerminal(t, j, 30*time.Second)
 }
 
-// A corrupt record fails recovery loudly instead of silently dropping
-// the job.
-func TestRecoveryRejectsCorruptRecord(t *testing.T) {
+// A corrupt record no longer takes down the whole boot: recovery
+// quarantines it — visible in the table with its decode error, terminal
+// from birth, never run — and the manager comes up for everything else.
+func TestRecoveryQuarantinesCorruptRecord(t *testing.T) {
 	st := store.NewMem()
 	if err := st.PutJob(&store.JobRecord{
 		ID: "job-1", Seq: 1, State: string(StateQueued),
@@ -419,8 +420,38 @@ func TestRecoveryRejectsCorruptRecord(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewManagerWithStore(1, 0, st); err == nil {
-		t.Fatal("corrupt record accepted")
+	m, err := NewManagerWithStore(1, 0, st)
+	if err != nil {
+		t.Fatalf("corrupt record failed the boot: %v", err)
+	}
+	defer m.Close()
+	j, ok := m.Get("job-1")
+	if !ok {
+		t.Fatal("quarantined job missing from the table")
+	}
+	status := j.Status()
+	if status.State != StateQuarantined {
+		t.Fatalf("state %s, want quarantined", status.State)
+	}
+	if status.Error == "" {
+		t.Fatal("quarantined job carries no error")
+	}
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("quarantined job is not terminal")
+	}
+	// The quarantine persisted: a second boot sees it terminal, no
+	// re-quarantine dance.
+	rec, err := st.GetJob("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if State(rec.State) != StateQuarantined || rec.Error == "" {
+		t.Fatalf("persisted record %+v, want quarantined with error", rec)
+	}
+	if m.RunsStarted() != 0 {
+		t.Fatalf("quarantined job ran %d times", m.RunsStarted())
 	}
 }
 

@@ -1,0 +1,37 @@
+// Engine checkpoint payload (registry.Engine.SaveState/LoadState) for
+// the domain-decomposition baseline.
+
+package parallel
+
+import (
+	"io"
+
+	"parsurf/internal/persist"
+)
+
+// SaveState writes the DDRSM clock and counters. The per-step derived
+// streams are keyed off the step counter (Step increments steps, then
+// splits the source by it), so restoring the counter restores the whole
+// stream schedule; the per-strip scratch is rebuilt every Step.
+func (d *DDRSM) SaveState(w io.Writer) error {
+	e := persist.NewWriter(w)
+	e.F64(d.time)
+	e.U64(d.steps)
+	e.U64(d.trials)
+	e.U64(d.successes)
+	e.U64(d.deferred)
+	e.U64(d.barriers)
+	return e.Err()
+}
+
+// LoadState restores a payload written by SaveState.
+func (d *DDRSM) LoadState(rd io.Reader) error {
+	dec := persist.NewReader(rd)
+	d.time = dec.F64()
+	d.steps = dec.U64()
+	d.trials = dec.U64()
+	d.successes = dec.U64()
+	d.deferred = dec.U64()
+	d.barriers = dec.U64()
+	return dec.Err()
+}

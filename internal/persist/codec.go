@@ -1,0 +1,142 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Writer is an error-latching little-endian encoder: after the first
+// write error every further call is a no-op and Err returns the error.
+// Engine SaveState implementations stream their private payload through
+// one Writer and check Err once at the end.
+type Writer struct {
+	w   io.Writer
+	err error
+	buf [8]byte
+}
+
+// NewWriter returns a Writer encoding onto w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first error encountered, if any.
+func (e *Writer) Err() error { return e.err }
+
+func (e *Writer) write(p []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(p)
+}
+
+// U32 encodes a uint32.
+func (e *Writer) U32(v uint32) {
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	e.write(e.buf[:4])
+}
+
+// U64 encodes a uint64.
+func (e *Writer) U64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	e.write(e.buf[:8])
+}
+
+// I64 encodes an int64 as its two's-complement bits.
+func (e *Writer) I64(v int64) { e.U64(uint64(v)) }
+
+// F64 encodes a float64 bit-exactly.
+func (e *Writer) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bytes writes p verbatim, with no length prefix.
+func (e *Writer) Bytes(p []byte) { e.write(p) }
+
+// Block writes a uint32 length prefix followed by p.
+func (e *Writer) Block(p []byte) {
+	e.U32(uint32(len(p)))
+	e.write(p)
+}
+
+// Reader is the error-latching decoder matching Writer: after the first
+// error every further call returns the zero value and Err reports the
+// error. Callers may also latch their own validation failures with Fail.
+type Reader struct {
+	r   io.Reader
+	err error
+	buf [8]byte
+}
+
+// NewReader returns a Reader decoding from r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Err returns the first error encountered, if any.
+func (d *Reader) Err() error { return d.err }
+
+// Fail latches err (the first latched error wins), letting LoadState
+// implementations report validation failures through the same channel
+// as read errors.
+func (d *Reader) Fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Failf latches a formatted error.
+func (d *Reader) Failf(format string, args ...any) {
+	d.Fail(fmt.Errorf(format, args...))
+}
+
+func (d *Reader) read(p []byte) {
+	if d.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(d.r, p); err != nil {
+		d.err = err
+	}
+}
+
+// U32 decodes a uint32.
+func (d *Reader) U32() uint32 {
+	d.read(d.buf[:4])
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(d.buf[:4])
+}
+
+// U64 decodes a uint64.
+func (d *Reader) U64() uint64 {
+	d.read(d.buf[:8])
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(d.buf[:8])
+}
+
+// I64 decodes an int64.
+func (d *Reader) I64() int64 { return int64(d.U64()) }
+
+// F64 decodes a float64.
+func (d *Reader) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bytes fills p with the next len(p) bytes.
+func (d *Reader) Bytes(p []byte) { d.read(p) }
+
+// Block reads a uint32 length prefix and the prefixed bytes, refusing
+// lengths above maxLen.
+func (d *Reader) Block(maxLen int) []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if int64(n) > int64(maxLen) {
+		d.Failf("persist: block of %d bytes exceeds limit %d", n, maxLen)
+		return nil
+	}
+	p := make([]byte, n)
+	d.read(p)
+	if d.err != nil {
+		return nil
+	}
+	return p
+}

@@ -1,4 +1,4 @@
-package persist
+package persist_test
 
 import (
 	"bytes"
@@ -8,6 +8,7 @@ import (
 	"parsurf/internal/dmc"
 	"parsurf/internal/lattice"
 	"parsurf/internal/model"
+	"parsurf/internal/persist"
 	"parsurf/internal/rng"
 )
 
@@ -21,10 +22,10 @@ func TestRoundTrip(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := Save(&buf, cfg, src, 12.5); err != nil {
+	if err := persist.Save(&buf, cfg, src, 12.5); err != nil {
 		t.Fatal(err)
 	}
-	cp, err := Load(&buf)
+	cp, err := persist.Load(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,6 +43,43 @@ func TestRoundTrip(t *testing.T) {
 		if cp.RNG.Uint64() != src.Uint64() {
 			t.Fatalf("rng sequence diverged at %d", i)
 		}
+	}
+}
+
+func TestWriteRoundTripsMetadata(t *testing.T) {
+	lat := lattice.New(6, 4)
+	cfg := lattice.NewConfig(lat)
+	src := rng.New(3)
+	cfg.Randomize([]float64{1, 1, 1}, src.Float64)
+	in := &persist.Checkpoint{
+		Engine:     "vssm",
+		SpecHash:   "00ff00ff",
+		NumSpecies: 3,
+		Steps:      1234,
+		Time:       9.75,
+		Config:     cfg,
+		RNG:        src,
+		Payload:    []byte{1, 2, 3, 4, 5},
+	}
+	var buf bytes.Buffer
+	if err := persist.Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := persist.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Engine != in.Engine || cp.SpecHash != in.SpecHash {
+		t.Fatalf("metadata lost: %q %q", cp.Engine, cp.SpecHash)
+	}
+	if cp.NumSpecies != 3 || cp.Steps != 1234 || cp.Time != 9.75 {
+		t.Fatalf("extents lost: %+v", cp)
+	}
+	if !bytes.Equal(cp.Payload, in.Payload) {
+		t.Fatalf("payload lost: %v", cp.Payload)
+	}
+	if !cp.Config.Equal(cfg) {
+		t.Fatal("configuration lost")
 	}
 }
 
@@ -67,10 +105,10 @@ func TestResumeExactTrajectory(t *testing.T) {
 		r1.Step()
 	}
 	var buf bytes.Buffer
-	if err := Save(&buf, cfg, src, r1.Time()); err != nil {
+	if err := persist.Save(&buf, cfg, src, r1.Time()); err != nil {
 		t.Fatal(err)
 	}
-	cp, err := Load(&buf)
+	cp, err := persist.Load(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,16 +121,34 @@ func TestResumeExactTrajectory(t *testing.T) {
 	}
 }
 
+// Fixed offsets into a checkpoint written by Save (empty engine name
+// and spec hash, so the variable-length blocks are zero bytes):
+//
+//	0  magic, 4 version, 8 engine len, 12 hash len, 16 species,
+//	20 l0, 24 l1, 28 steps, 36 time, 44 rng, 76 cells.
+const (
+	offVersion = 4
+	offSpecies = 16
+	offL0      = 20
+	offCells   = 76
+)
+
 func TestLoadRejectsCorruption(t *testing.T) {
 	lat := lattice.New(4, 4)
 	cfg := lattice.NewConfig(lat)
 	src := rng.New(1)
+	cfg.Randomize([]float64{1, 1}, src.Float64)
 	var buf bytes.Buffer
-	if err := Save(&buf, cfg, src, 1); err != nil {
+	if err := persist.Save(&buf, cfg, src, 1); err != nil {
 		t.Fatal(err)
 	}
 	good := buf.Bytes()
 
+	corrupt := func(off int, vals ...byte) []byte {
+		bad := append([]byte(nil), good...)
+		copy(bad[off:], vals)
+		return bad
+	}
 	cases := []struct {
 		name string
 		data []byte
@@ -100,26 +156,23 @@ func TestLoadRejectsCorruption(t *testing.T) {
 		{"empty", nil},
 		{"bad magic", append([]byte("XXXX"), good[4:]...)},
 		{"truncated header", good[:10]},
-		{"truncated cells", good[:len(good)-5]},
+		{"truncated cells", good[:offCells+5]},
+		{"truncated payload length", good[:len(good)-2]},
+		{"bad version", corrupt(offVersion, 99)},
+		{"zero extent", corrupt(offL0, 0, 0, 0, 0)},
+		{"zero species", corrupt(offSpecies, 0, 0, 0, 0)},
+		{"implausible species", corrupt(offSpecies, 1, 1, 0, 0)},
+		{"species out of range", corrupt(offCells, 0xee)},
+		{"trailing garbage", append(append([]byte(nil), good...), 0xab)},
 	}
 	for _, c := range cases {
-		if _, err := Load(bytes.NewReader(c.data)); err == nil {
+		if _, err := persist.Load(bytes.NewReader(c.data)); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
 	}
 
-	// Bad version.
-	bad := append([]byte(nil), good...)
-	bad[4] = 99
-	if _, err := Load(bytes.NewReader(bad)); err == nil {
-		t.Error("bad version accepted")
-	}
-
-	// Implausible dimensions.
-	bad = append([]byte(nil), good...)
-	bad[8], bad[9], bad[10], bad[11] = 0, 0, 0, 0 // l0 = 0
-	if _, err := Load(bytes.NewReader(bad)); err == nil {
-		t.Error("zero extent accepted")
+	if _, err := persist.Load(bytes.NewReader(good)); err != nil {
+		t.Fatalf("uncorrupted checkpoint rejected: %v", err)
 	}
 }
 
@@ -144,8 +197,8 @@ func TestSavePropagatesWriteErrors(t *testing.T) {
 	lat := lattice.New(4, 4)
 	cfg := lattice.NewConfig(lat)
 	src := rng.New(1)
-	for _, after := range []int{0, 3, 8, 30} {
-		if err := Save(&failWriter{after: after}, cfg, src, 1); err == nil {
+	for _, after := range []int{0, 3, 8, 30, 77} {
+		if err := persist.Save(&failWriter{after: after}, cfg, src, 1); err == nil {
 			t.Errorf("write failure after %d bytes not propagated", after)
 		}
 	}

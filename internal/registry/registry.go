@@ -19,6 +19,7 @@ package registry
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -63,6 +64,21 @@ type Engine interface {
 	// relies on. It panics when cfg's lattice shape differs from the
 	// engine's.
 	Reset(cfg *lattice.Config, src *rng.Source)
+	// SaveState writes the engine-private evolution state that is
+	// neither the configuration nor the raw random source: clocks,
+	// counters, enabled-set orderings, event-queue layouts, drifted
+	// rate trees — everything Reset re-derives differently than N
+	// steps of history would have left it. The encoding is opaque to
+	// callers and versioned only through the surrounding persist
+	// checkpoint.
+	SaveState(w io.Writer) error
+	// LoadState restores state written by SaveState by the same
+	// engine kind over the same model/lattice/options. It is called
+	// after Reset(cfg, src) has installed the checkpointed
+	// configuration and random source, and overwrites the
+	// history-dependent remainder so the next Step continues the
+	// interrupted trajectory bit-exactly.
+	LoadState(r io.Reader) error
 }
 
 // OptionSet is a bitmask naming the Options fields an engine accepts;

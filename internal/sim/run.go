@@ -83,7 +83,16 @@ func RunContext(ctx context.Context, s dmc.Simulator, dt, tEnd float64, observer
 // every remaining point: an absorbed system no longer changes, so
 // those samples are exact values, not interpolations.
 func RunGrid(ctx context.Context, s dmc.Simulator, grid timegrid.Grid, observe func(k int, cfg *lattice.Config)) (steps int, err error) {
-	for k := 0; k < grid.Len(); k++ {
+	return RunGridFrom(ctx, s, grid, 0, observe)
+}
+
+// RunGridFrom is RunGrid starting at grid index k0: points before k0
+// are neither run to nor observed. This is the resume path — a replica
+// restored from a checkpoint taken after grid point k0-1 continues with
+// the remaining points, and the step count covers only the continued
+// stretch.
+func RunGridFrom(ctx context.Context, s dmc.Simulator, grid timegrid.Grid, k0 int, observe func(k int, cfg *lattice.Config)) (steps int, err error) {
+	for k := k0; k < grid.Len(); k++ {
 		t := grid.At(k)
 		for s.Time() < t {
 			if err := ctx.Err(); err != nil {

@@ -10,25 +10,28 @@ import (
 
 // FS is the durable filesystem store. Layout under the data directory:
 //
-//	<dir>/jobs/<id>.json      one record per job
-//	<dir>/results/<hash>.json one blob per content hash
+//	<dir>/jobs/<id>.json              one record per job
+//	<dir>/results/<hash>.json         one blob per content hash
+//	<dir>/checkpoints/<hash>/<slot>   one checkpoint blob per replica slot
 //
 // Every write goes through a temp file in the target directory: write,
 // fsync, rename over the final name, fsync the directory — so a record
 // is either the old version or the new one, never a torn mix, and a
 // rename that was acknowledged survives a crash.
 type FS struct {
-	jobsDir    string
-	resultsDir string
+	jobsDir        string
+	resultsDir     string
+	checkpointsDir string
 }
 
 // OpenFS opens (creating if needed) a filesystem store rooted at dir.
 func OpenFS(dir string) (*FS, error) {
 	f := &FS{
-		jobsDir:    filepath.Join(dir, "jobs"),
-		resultsDir: filepath.Join(dir, "results"),
+		jobsDir:        filepath.Join(dir, "jobs"),
+		resultsDir:     filepath.Join(dir, "results"),
+		checkpointsDir: filepath.Join(dir, "checkpoints"),
 	}
-	for _, d := range []string{dir, f.jobsDir, f.resultsDir} {
+	for _, d := range []string{dir, f.jobsDir, f.resultsDir, f.checkpointsDir} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
@@ -67,7 +70,11 @@ func (f *FS) GetJob(id string) (*JobRecord, error) {
 	return rec, nil
 }
 
-// Jobs implements Store.
+// Jobs implements Store. A record that no longer reads or decodes —
+// e.g. a file torn by a crash that bypassed the atomic-rename path — is
+// skipped rather than failing the whole listing, so one bad file cannot
+// take down boot recovery; GetJob on the bad id still reports the
+// decode error for anyone who asks for it directly.
 func (f *FS) Jobs() ([]*JobRecord, error) {
 	entries, err := os.ReadDir(f.jobsDir)
 	if err != nil {
@@ -81,7 +88,7 @@ func (f *FS) Jobs() ([]*JobRecord, error) {
 		}
 		rec, err := f.GetJob(strings.TrimSuffix(name, ".json"))
 		if err != nil {
-			return nil, err
+			continue
 		}
 		out = append(out, rec)
 	}
@@ -117,6 +124,90 @@ func (f *FS) GetResult(hash string) (*Result, error) {
 		return nil, fmt.Errorf("store: decoding result %s: %w", hash, err)
 	}
 	return res, nil
+}
+
+// checkpointDir returns the per-hash checkpoint directory, validating
+// both keys (the slot is a file name inside the hash directory).
+func (f *FS) checkpointDir(hash, slot string) (string, error) {
+	if err := validKey("checkpoint hash", hash); err != nil {
+		return "", err
+	}
+	if slot != "" {
+		if err := validKey("checkpoint slot", slot); err != nil {
+			return "", err
+		}
+	}
+	return filepath.Join(f.checkpointsDir, hash), nil
+}
+
+// PutCheckpoint implements Store.
+func (f *FS) PutCheckpoint(hash, slot string, data []byte) error {
+	dir, err := f.checkpointDir(hash, slot)
+	if err != nil {
+		return err
+	}
+	if slot == "" {
+		return fmt.Errorf("store: empty checkpoint slot key")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return writeAtomic(filepath.Join(dir, slot), data)
+}
+
+// GetCheckpoint implements Store.
+func (f *FS) GetCheckpoint(hash, slot string) ([]byte, error) {
+	dir, err := f.checkpointDir(hash, slot)
+	if err != nil {
+		return nil, err
+	}
+	if slot == "" {
+		return nil, fmt.Errorf("store: empty checkpoint slot key")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, slot))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: checkpoint %s/%s: %w", hash, slot, ErrNotFound)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return data, nil
+}
+
+// Checkpoints implements Store.
+func (f *FS) Checkpoints(hash string) ([]string, error) {
+	dir, err := f.checkpointDir(hash, "")
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || strings.HasPrefix(name, ".") {
+			continue
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// DeleteCheckpoints implements Store.
+func (f *FS) DeleteCheckpoints(hash string) error {
+	dir, err := f.checkpointDir(hash, "")
+	if err != nil {
+		return err
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
 }
 
 // writeAtomic publishes data at path via a same-directory temp file:

@@ -12,16 +12,18 @@ import (
 // semantics (value isolation, byte-stable re-reads) as the durable
 // path, minus the disk.
 type Mem struct {
-	mu      sync.Mutex
-	jobs    map[string][]byte
-	results map[string][]byte
+	mu          sync.Mutex
+	jobs        map[string][]byte
+	results     map[string][]byte
+	checkpoints map[string]map[string][]byte
 }
 
 // NewMem returns an empty in-memory store.
 func NewMem() *Mem {
 	return &Mem{
-		jobs:    make(map[string][]byte),
-		results: make(map[string][]byte),
+		jobs:        make(map[string][]byte),
+		results:     make(map[string][]byte),
+		checkpoints: make(map[string]map[string][]byte),
 	}
 }
 
@@ -58,7 +60,9 @@ func (m *Mem) GetJob(id string) (*JobRecord, error) {
 	return rec, nil
 }
 
-// Jobs implements Store.
+// Jobs implements Store. Like the filesystem store it skips records
+// that no longer decode, so the listing contract (one bad record never
+// fails the whole listing) is identical across implementations.
 func (m *Mem) Jobs() ([]*JobRecord, error) {
 	m.mu.Lock()
 	ids := make([]string, 0, len(m.jobs))
@@ -70,7 +74,7 @@ func (m *Mem) Jobs() ([]*JobRecord, error) {
 	for _, id := range ids {
 		rec, err := m.GetJob(id)
 		if err != nil {
-			return nil, err
+			continue
 		}
 		out = append(out, rec)
 	}
@@ -108,4 +112,77 @@ func (m *Mem) GetResult(hash string) (*Result, error) {
 		return nil, fmt.Errorf("store: decoding result %s: %w", hash, err)
 	}
 	return res, nil
+}
+
+// checkpointKeys validates the hash (and, when non-empty, slot) keys.
+func checkpointKeys(hash, slot string) error {
+	if err := validKey("checkpoint hash", hash); err != nil {
+		return err
+	}
+	if slot != "" {
+		return validKey("checkpoint slot", slot)
+	}
+	return nil
+}
+
+// PutCheckpoint implements Store.
+func (m *Mem) PutCheckpoint(hash, slot string, data []byte) error {
+	if err := checkpointKeys(hash, slot); err != nil {
+		return err
+	}
+	if slot == "" {
+		return fmt.Errorf("store: empty checkpoint slot key")
+	}
+	cp := append([]byte(nil), data...)
+	m.mu.Lock()
+	slots := m.checkpoints[hash]
+	if slots == nil {
+		slots = make(map[string][]byte)
+		m.checkpoints[hash] = slots
+	}
+	slots[slot] = cp
+	m.mu.Unlock()
+	return nil
+}
+
+// GetCheckpoint implements Store.
+func (m *Mem) GetCheckpoint(hash, slot string) ([]byte, error) {
+	if err := checkpointKeys(hash, slot); err != nil {
+		return nil, err
+	}
+	if slot == "" {
+		return nil, fmt.Errorf("store: empty checkpoint slot key")
+	}
+	m.mu.Lock()
+	data, ok := m.checkpoints[hash][slot]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("store: checkpoint %s/%s: %w", hash, slot, ErrNotFound)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Checkpoints implements Store.
+func (m *Mem) Checkpoints(hash string) ([]string, error) {
+	if err := checkpointKeys(hash, ""); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for slot := range m.checkpoints[hash] {
+		out = append(out, slot)
+	}
+	return out, nil
+}
+
+// DeleteCheckpoints implements Store.
+func (m *Mem) DeleteCheckpoints(hash string) error {
+	if err := checkpointKeys(hash, ""); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	delete(m.checkpoints, hash)
+	m.mu.Unlock()
+	return nil
 }

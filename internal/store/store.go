@@ -40,6 +40,10 @@ type JobRecord struct {
 	Error string `json:"error,omitempty"`
 	// Cached marks a job answered from the result cache without running.
 	Cached bool `json:"cached,omitempty"`
+	// Attempts counts how many times the job's run was interrupted by a
+	// crash (a record found at "running" on boot). Recovery uses it to
+	// quarantine jobs that keep killing the process.
+	Attempts int `json:"attempts,omitempty"`
 	// Submitted is the submission wall-clock time in Unix nanoseconds.
 	Submitted int64 `json:"submitted"`
 	// Request is the serialized request (specs plus run shape), exactly
@@ -82,6 +86,18 @@ type Store interface {
 	PutResult(hash string, res *Result) error
 	// GetResult reads the result blob under the hash.
 	GetResult(hash string) (*Result, error)
+	// PutCheckpoint writes (or overwrites) an opaque checkpoint blob for
+	// one replica slot of the job with the given content hash.
+	PutCheckpoint(hash, slot string, data []byte) error
+	// GetCheckpoint reads one checkpoint blob.
+	GetCheckpoint(hash, slot string) ([]byte, error)
+	// Checkpoints lists the slot keys with a stored checkpoint for the
+	// hash, in no particular order. A hash with no checkpoints lists
+	// empty without error.
+	Checkpoints(hash string) ([]string, error)
+	// DeleteCheckpoints removes every checkpoint stored for the hash.
+	// Deleting a hash with no checkpoints is a no-op.
+	DeleteCheckpoints(hash string) error
 }
 
 // validKey guards record/blob keys used as file names: a key must be

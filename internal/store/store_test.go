@@ -168,6 +168,173 @@ func TestFSReopenSurvives(t *testing.T) {
 	}
 }
 
+// openBothCorruptible is openBoth plus backdoors that corrupt a stored
+// job record or result blob in place — overwriting the filesystem file,
+// or the in-memory encoded bytes, with torn JSON — for the recovery
+// tests that must hold on both implementations.
+func openBothCorruptible(t *testing.T, f func(t *testing.T, s Store, corruptJob, corruptResult func(key string))) {
+	t.Helper()
+	torn := []byte(`{"id":"job-1","state":"que`)
+	t.Run("fs", func(t *testing.T) {
+		dir := t.TempDir()
+		s, err := OpenFS(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		overwrite := func(sub, name string) {
+			if err := os.WriteFile(filepath.Join(dir, sub, name+".json"), torn, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f(t, s,
+			func(id string) { overwrite("jobs", id) },
+			func(hash string) { overwrite("results", hash) })
+	})
+	t.Run("mem", func(t *testing.T) {
+		s := NewMem()
+		f(t, s,
+			func(id string) { s.mu.Lock(); s.jobs[id] = torn; s.mu.Unlock() },
+			func(hash string) { s.mu.Lock(); s.results[hash] = torn; s.mu.Unlock() })
+	})
+}
+
+// A job record torn by a crash that bypassed the atomic-rename path is
+// skipped by listings (one bad file must not take down boot recovery)
+// while a direct read of it refuses with a clear error — and a torn
+// result blob likewise refuses rather than serving garbage. Neither
+// path may panic.
+func TestTornRecordsSkippedOrRefused(t *testing.T) {
+	openBothCorruptible(t, func(t *testing.T, s Store, corruptJob, corruptResult func(string)) {
+		for _, id := range []string{"job-1", "job-2", "job-3"} {
+			if err := s.PutJob(&JobRecord{ID: id, State: "queued"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.PutResult("cafe01", &Result{Variants: []Variant{{Species: []string{"*"}}}}); err != nil {
+			t.Fatal(err)
+		}
+		corruptJob("job-2")
+		corruptResult("cafe01")
+
+		recs, err := s.Jobs()
+		if err != nil {
+			t.Fatalf("listing with a torn record: %v", err)
+		}
+		var ids []string
+		for _, r := range recs {
+			ids = append(ids, r.ID)
+		}
+		sort.Strings(ids)
+		if !reflect.DeepEqual(ids, []string{"job-1", "job-3"}) {
+			t.Fatalf("listing with a torn record returned %v, want the two intact ones", ids)
+		}
+		if _, err := s.GetJob("job-2"); err == nil || errors.Is(err, ErrNotFound) {
+			t.Fatalf("reading the torn record: %v, want a decode error", err)
+		}
+		if _, err := s.GetResult("cafe01"); err == nil || errors.Is(err, ErrNotFound) {
+			t.Fatalf("reading the torn result: %v, want a decode error", err)
+		}
+	})
+}
+
+// Checkpoint blobs round-trip bytes exactly, list per hash, overwrite
+// per slot, and delete as a group.
+func TestCheckpointRoundTrip(t *testing.T) {
+	openBoth(t, func(t *testing.T, s Store) {
+		if err := s.PutCheckpoint("h1", "0", []byte{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutCheckpoint("h1", "1", []byte{4}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutCheckpoint("h2", "0", []byte{9}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.GetCheckpoint("h1", "0")
+		if err != nil || !reflect.DeepEqual(got, []byte{1, 2, 3}) {
+			t.Fatalf("GetCheckpoint: %v, %v", got, err)
+		}
+		// Overwrite wins.
+		if err := s.PutCheckpoint("h1", "0", []byte{7, 7}); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ = s.GetCheckpoint("h1", "0"); !reflect.DeepEqual(got, []byte{7, 7}) {
+			t.Fatalf("overwrite lost: %v", got)
+		}
+		slots, err := s.Checkpoints("h1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(slots)
+		if !reflect.DeepEqual(slots, []string{"0", "1"}) {
+			t.Fatalf("Checkpoints(h1) = %v", slots)
+		}
+		if err := s.DeleteCheckpoints("h1"); err != nil {
+			t.Fatal(err)
+		}
+		if slots, err = s.Checkpoints("h1"); err != nil || len(slots) != 0 {
+			t.Fatalf("after delete: %v, %v", slots, err)
+		}
+		if _, err := s.GetCheckpoint("h1", "0"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("deleted checkpoint: %v, want ErrNotFound", err)
+		}
+		// Other hashes untouched; unknown hashes list empty and delete as
+		// a no-op.
+		if _, err := s.GetCheckpoint("h2", "0"); err != nil {
+			t.Fatal(err)
+		}
+		if slots, err = s.Checkpoints("nope"); err != nil || len(slots) != 0 {
+			t.Fatalf("unknown hash: %v, %v", slots, err)
+		}
+		if err := s.DeleteCheckpoints("nope"); err != nil {
+			t.Fatal(err)
+		}
+		// Key validation mirrors jobs/results.
+		if err := s.PutCheckpoint("../evil", "0", nil); err == nil {
+			t.Error("PutCheckpoint accepted a traversal hash")
+		}
+		if err := s.PutCheckpoint("h1", "../evil", nil); err == nil {
+			t.Error("PutCheckpoint accepted a traversal slot")
+		}
+		if err := s.PutCheckpoint("h1", "", nil); err == nil {
+			t.Error("PutCheckpoint accepted an empty slot")
+		}
+	})
+}
+
+// The fault wrapper fails exactly the mutation its hook names, leaves
+// reads alone, and counts attempts.
+func TestFaultyInjectsOnNthMutation(t *testing.T) {
+	f := &Faulty{Inner: NewMem(), Hook: FailNth(2)}
+	if err := f.PutJob(&JobRecord{ID: "job-1", State: "queued"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PutJob(&JobRecord{ID: "job-2", State: "queued"}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second mutation: %v, want ErrInjected", err)
+	}
+	// The failed write never reached the inner store.
+	if _, err := f.GetJob("job-2"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("job-2 after injected failure: %v, want ErrNotFound", err)
+	}
+	if _, err := f.GetJob("job-1"); err != nil {
+		t.Fatalf("read through fault wrapper: %v", err)
+	}
+	if err := f.PutCheckpoint("h1", "0", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Mutations() != 3 {
+		t.Fatalf("Mutations() = %d, want 3", f.Mutations())
+	}
+
+	byOp := &Faulty{Inner: NewMem(), Hook: FailOps("put-checkpoint", 0)}
+	if err := byOp.PutJob(&JobRecord{ID: "job-1", State: "queued"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := byOp.PutCheckpoint("h1", "0", []byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op-targeted injection: %v, want ErrInjected", err)
+	}
+}
+
 // Leftover temp files from a crash mid-write are invisible to listings.
 func TestFSIgnoresTempDebris(t *testing.T) {
 	dir := t.TempDir()

@@ -614,7 +614,7 @@ func (sp *SessionSpec) build(src *RNG) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{spec: sp, lat: sp.lat, cm: sp.cm, cfg: cfg, eng: eng}, nil
+	return &Session{spec: sp, lat: sp.lat, cm: sp.cm, cfg: cfg, eng: eng, src: src}, nil
 }
 
 // Session is one wired simulation: a lattice, a compiled model (when
@@ -625,6 +625,10 @@ type Session struct {
 	cm   *Compiled
 	cfg  *Config
 	eng  Engine
+	// src is the engine's random source; Checkpoint saves its raw state
+	// and ResumeSession restores it in place (the engine holds the same
+	// pointer).
+	src *RNG
 	// initSrc is stable storage for the init-preset stream derived on
 	// every Reset, so rewinding a pooled session allocates nothing.
 	initSrc RNG
@@ -641,6 +645,7 @@ type Session struct {
 // session per worker. The session's lattice and compiled arena are
 // untouched (they are immutable and shared with the spec).
 func (s *Session) Reset(src *RNG) {
+	s.src = src
 	s.cfg.Fill(0)
 	if s.spec.initFn != nil {
 		src.SplitInto(&s.initSrc, initStreamID)
