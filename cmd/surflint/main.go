@@ -1,0 +1,30 @@
+// Command surflint is the repo's static-analysis suite: five
+// analyzers that enforce at compile time the invariants the test
+// suite proves at runtime — deterministic randomness sources,
+// order-independent map iteration, allocation-free hot paths,
+// error-latched persistence, and consistent atomic access.
+//
+// Run standalone:
+//
+//	go run ./cmd/surflint ./...
+//
+// or as a vet tool (what CI does — go vet handles caching and test
+// variants):
+//
+//	go build -o surflint ./cmd/surflint
+//	go vet -vettool=$PWD/surflint ./...
+//
+// The tool is self-contained on the standard library, so it lives in
+// the module it checks: the "tools pattern" with nothing to pin —
+// the analyzer version is the repo commit itself.
+package main
+
+import (
+	"os"
+
+	"parsurf/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main("", os.Args[1:], os.Stdout, os.Stderr))
+}

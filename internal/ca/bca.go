@@ -63,6 +63,8 @@ func NewBCA(cm *model.Compiled, cfg *lattice.Config, src *rng.Source, bw, bh int
 // Step performs one BCA step under the current tiling: every block
 // receives as many trials as it has sites (so a step is N trials, one
 // MC step), then the tiling advances to the next origin.
+//
+//surflint:hotpath
 func (b *BCA) Step() bool {
 	p := b.tilings[b.phase]
 	n := b.cm.Lat.N()

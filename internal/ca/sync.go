@@ -48,6 +48,9 @@ type SyncNDCA struct {
 	nbScratch []int
 	winners   []int32
 	dropped   map[int32]bool
+	// swap is the Shuffle callback over order, built once: a closure
+	// literal in Step would escape and allocate every call.
+	swap func(i, j int)
 
 	steps     uint64
 	proposed  uint64
@@ -70,12 +73,15 @@ func NewSyncNDCA(cm *model.Compiled, cfg *lattice.Config, src *rng.Source) *Sync
 	for i := range order {
 		order[i] = i
 	}
-	return &SyncNDCA{
+	a := &SyncNDCA{
 		cm: cm, cfg: cfg, cells: cfg.Cells(), src: src,
-		Policy: RandomWinner,
-		claim:  make([]int32, n),
-		order:  order,
+		Policy:  RandomWinner,
+		claim:   make([]int32, n),
+		order:   order,
+		dropped: make(map[int32]bool),
 	}
+	a.swap = func(i, j int) { a.order[i], a.order[j] = a.order[j], a.order[i] }
+	return a
 }
 
 // Reset rewinds the engine over a fresh configuration (see
@@ -95,6 +101,8 @@ func (a *SyncNDCA) Reset(cfg *lattice.Config, src *rng.Source) {
 
 // Step performs one synchronous update: propose at all sites from the
 // frozen state, resolve conflicts, apply survivors simultaneously.
+//
+//surflint:hotpath
 func (a *SyncNDCA) Step() bool {
 	n := a.cm.Lat.N()
 	a.proposals = a.proposals[:0]
@@ -122,13 +130,9 @@ func (a *SyncNDCA) Step() bool {
 	for i := range idx {
 		idx[i] = i
 	}
-	a.src.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	a.src.Shuffle(len(idx), a.swap)
 
-	if a.dropped == nil {
-		a.dropped = make(map[int32]bool)
-	} else {
-		clear(a.dropped)
-	}
+	clear(a.dropped)
 	winners := a.winners[:0]
 	for _, pi := range idx {
 		p := a.proposals[pi]

@@ -170,6 +170,8 @@ func (e *LPNDCA) runInChunk(ci, want, firstSite int) {
 }
 
 // Step performs one L-PNDCA step of exactly N trials.
+//
+//surflint:hotpath
 func (e *LPNDCA) Step() bool {
 	n := e.cm.Lat.N()
 	remaining := n

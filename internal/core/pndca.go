@@ -104,10 +104,19 @@ func (p *PNDCA) UsePartitions(parts []*partition.Partition) {
 	if len(parts) == 0 {
 		panic("core: UsePartitions with no partitions")
 	}
+	maxChunks := len(p.perm)
 	for _, part := range parts {
 		if !part.Lat.SameShape(p.cm.Lat) {
 			panic("core: partition lattice differs from compiled lattice")
 		}
+		if n := part.NumChunks(); n > maxChunks {
+			maxChunks = n
+		}
+	}
+	// Size perm for the largest partition of the cycle now, so Step
+	// re-slices without ever allocating mid-run.
+	if cap(p.perm) < maxChunks {
+		p.perm = make([]int, maxChunks)
 	}
 	p.parts = parts
 }
@@ -122,14 +131,11 @@ func (p *PNDCA) currentPartition() *partition.Partition {
 
 // Step performs one PNDCA step: every chunk swept once, every site of
 // the lattice trialled once (N trials = one MC step).
+//
+//surflint:hotpath
 func (p *PNDCA) Step() bool {
 	part := p.currentPartition()
-	if len(p.perm) != part.NumChunks() {
-		p.perm = make([]int, part.NumChunks())
-		for i := range p.perm {
-			p.perm[i] = i
-		}
-	}
+	p.perm = p.perm[:part.NumChunks()]
 	if p.Order == RandomOrder {
 		p.src.Perm(p.perm)
 	} else {

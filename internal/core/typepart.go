@@ -99,6 +99,8 @@ func pickCum(cum []float64, u float64) int {
 
 // Step performs |T| sweeps, visiting roughly N sites in total (for the
 // two-subset checkerboard split each sweep covers N/2 sites).
+//
+//surflint:hotpath
 func (e *TypePartitioned) Step() bool {
 	for j := 0; j < e.split.NumSubsets(); j++ {
 		tj := pickCum(e.subsetCum, e.src.Float64())

@@ -128,6 +128,8 @@ func (f *FRM) refresh(rt, s int) {
 
 // Step executes the earliest scheduled reaction. It reports false from
 // an absorbing state (empty queue).
+//
+//surflint:hotpath
 func (f *FRM) Step() bool {
 	ev, ok := f.queue.Pop()
 	if !ok {

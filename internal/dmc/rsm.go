@@ -105,6 +105,8 @@ func (r *RSM) advance(n int) {
 // Step performs one MC step (N trials). It always reports true: RSM has
 // no absorbing detection — a poisoned lattice simply stops producing
 // successful trials.
+//
+//surflint:hotpath
 func (r *RSM) Step() bool {
 	n := r.cm.Lat.N()
 	// One bulk reservation covers the whole step's guaranteed draws, so

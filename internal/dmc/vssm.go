@@ -143,6 +143,8 @@ func (v *VSSM) resync() {
 
 // Step executes one reaction event. It reports false from an absorbing
 // state (no enabled reactions), leaving time unchanged.
+//
+//surflint:hotpath
 func (v *VSSM) Step() bool {
 	total := v.typeRates.Total()
 	if total <= 0 {

@@ -1,0 +1,197 @@
+// Package lint implements surflint: a suite of repo-specific static
+// analyzers that enforce, at `go vet` time, the invariants the rest of
+// the codebase proves at runtime — bit-identical trajectories for any
+// worker count, allocation-free hot loops, and error-latched
+// persistence. Each class of invariant here has been violated once in
+// this repo's history (the ddrsm channel-arrival-order clock merge,
+// the pndca one-ulp drift, per-replica alloc regressions), so the
+// analyzers encode the exact shapes of those bugs: violations fail
+// `go vet -vettool=$(surflint)` before a golden trace ever drifts.
+//
+// The suite is self-contained on the standard library (go/ast,
+// go/types, go/parser): the build environment deliberately carries no
+// external modules, so the usual golang.org/x/tools/go/analysis
+// framework is reimplemented here in miniature — Analyzer, Pass,
+// directive-based suppression, a unitchecker-protocol driver for
+// `go vet -vettool`, and a standalone package loader.
+//
+// Escape directives:
+//
+//	//surflint:allow <analyzer> [<analyzer>...]
+//	    suppresses findings from the named analyzers on the same
+//	    source line, or on the line immediately below a directive
+//	    that stands on its own line.
+//	//surflint:hotpath
+//	    in a function's doc comment, opts the function into the
+//	    hotpath analyzer's allocation checks.
+//
+// Malformed directives (unknown analyzer names, hotpath outside a
+// function doc comment) are themselves diagnostics, so a typo cannot
+// silently disable a check.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named surflint check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //surflint:allow directives.
+	Name string
+	// Doc is a one-paragraph description: the invariant enforced and
+	// the bug shape it catches.
+	Doc string
+	// Run reports the analyzer's findings on one package via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name ("directive" for
+	// malformed surflint directives).
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message states the violation.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [surflint:%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+	// Files are the package's parsed files (comments included).
+	Files []*ast.File
+	// PkgPath is the package's import path as the build system names
+	// it, normalized: a test-variant suffix like
+	// " [parsurf/internal/job.test]" is stripped.
+	PkgPath string
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checking results for Files.
+	TypesInfo *types.Info
+
+	allow allowIndex
+	out   *[]Diagnostic
+}
+
+// Reportf records a finding unless an //surflint:allow directive for
+// this analyzer covers the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow.allows(p.Analyzer.Name, position) {
+		return
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// isTestFile reports whether the file the node belongs to is a
+// _test.go file. Test files are exempt from every analyzer: the
+// invariants guard production determinism and hot paths, and tests
+// legitimately use wall clocks, map iteration, and allocations.
+func (p *Pass) isTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerDetSource,
+		AnalyzerMapOrder,
+		AnalyzerHotPath,
+		AnalyzerLatchedCodec,
+		AnalyzerAtomicSlot,
+	}
+}
+
+// knownAnalyzers is the set of names //surflint:allow may reference.
+func knownAnalyzers() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range All() {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// normalizePkgPath strips a build-system test-variant suffix:
+// "parsurf/internal/job [parsurf/internal/job.test]" names the same
+// package as "parsurf/internal/job" for gating purposes.
+func normalizePkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// RunPackage runs the given analyzers plus directive validation over
+// one type-checked package and returns the findings sorted by
+// position.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkgPath string, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	allow := buildAllowIndex(fset, files)
+	checkDirectives(fset, files, &out)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			PkgPath:   normalizePkgPath(pkgPath),
+			Pkg:       pkg,
+			TypesInfo: info,
+			allow:     allow,
+			out:       &out,
+		}
+		// Analyzer runs are pure AST/type walks; the only error path is
+		// an internal inconsistency, which is worth surfacing loudly.
+		if err := a.Run(pass); err != nil {
+			out = append(out, Diagnostic{
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("internal error: %v", err),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// NewTypesInfo returns a types.Info populated with every map the
+// analyzers consult.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

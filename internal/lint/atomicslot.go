@@ -1,0 +1,153 @@
+// atomicslot: a variable accessed through sync/atomic functions in one
+// place and by plain load/store in another — the job progress-slot
+// pattern, where one missed atomic is a data race the race detector
+// only catches if a test happens to interleave it.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AnalyzerAtomicSlot flags mixed atomic/plain access. It collects
+// every variable (field or package-level) whose address is passed to a
+// sync/atomic function — atomic.LoadUint64(&s.f), atomic.AddInt64(&n, 1)
+// and friends — then reports any plain read or write of the same
+// variable elsewhere in the package. Fields of the atomic.Int64-style
+// wrapper types cannot mix by construction; migrating a flagged field
+// to one is the canonical fix.
+var AnalyzerAtomicSlot = &Analyzer{
+	Name: "atomicslot",
+	Doc: "flag variables accessed via sync/atomic in one place and by plain " +
+		"load/store in another: every access must agree on the discipline",
+	Run: runAtomicSlot,
+}
+
+// atomicFuncs are the sync/atomic functions whose first argument is
+// the address of the accessed variable.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runAtomicSlot(p *Pass) error {
+	// First pass: variables whose address feeds a sync/atomic call, and
+	// the identifier nodes that do so (those are the sanctioned uses).
+	atomicVars := make(map[types.Object]ast.Node) // var -> one atomic call site, for the message
+	sanctioned := make(map[ast.Expr]bool)         // &x arguments inside atomic calls
+	for _, f := range p.Files {
+		if p.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !atomicFuncs[sel.Sel.Name] {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || !p.usesPackage(pkg, "sync/atomic") {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if obj := p.accessedObject(addr.X); obj != nil {
+				if _, seen := atomicVars[obj]; !seen {
+					atomicVars[obj] = call
+				}
+				sanctioned[addr.X] = true
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Second pass: plain accesses of those variables. Taking the
+	// address for another atomic call is sanctioned; anything else —
+	// read, write, compound assign, address-of for non-atomic use —
+	// is a finding.
+	type finding struct {
+		pos  ast.Node
+		name string
+		at   ast.Node
+	}
+	var findings []finding
+	for _, f := range p.Files {
+		if p.isTestFile(f) {
+			continue
+		}
+		// seenSel dedupes: a field access s.f is reported once via its
+		// SelectorExpr, not again via the inner Sel identifier.
+		seenSel := make(map[*ast.Ident]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			var expr ast.Expr
+			switch v := n.(type) {
+			case *ast.SelectorExpr:
+				seenSel[v.Sel] = true
+				expr = v
+			case *ast.Ident:
+				if seenSel[v] {
+					return true
+				}
+				expr = v
+			default:
+				return true
+			}
+			if sanctioned[expr] {
+				return true
+			}
+			obj := p.accessedObject(expr)
+			if obj == nil {
+				return true
+			}
+			if site, isAtomic := atomicVars[obj]; isAtomic {
+				findings = append(findings, finding{pos: n, name: obj.Name(), at: site})
+			}
+			return true
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos.Pos() < findings[j].pos.Pos() })
+	for _, f := range findings {
+		p.Reportf(f.pos.Pos(), "plain access of %s, which is accessed atomically at %s: mixed atomic/plain access races",
+			f.name, p.Fset.Position(f.at.Pos()))
+	}
+	return nil
+}
+
+// accessedObject resolves the variable a selector or identifier
+// denotes: for s.f it is the field f; for a bare identifier, the
+// variable itself. Only variables qualify (not types, funcs,
+// packages).
+func (p *Pass) accessedObject(e ast.Expr) types.Object {
+	switch v := e.(type) {
+	case *ast.Ident:
+		// Uses only: a declaring identifier (the field or var
+		// definition itself) is not an access.
+		if obj, ok := p.TypesInfo.Uses[v].(*types.Var); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.TypesInfo.Selections[v]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	case *ast.IndexExpr:
+		return p.accessedObject(v.X)
+	case *ast.ParenExpr:
+		return p.accessedObject(v.X)
+	}
+	return nil
+}

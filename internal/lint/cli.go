@@ -1,0 +1,109 @@
+// Main: the surflint command-line entry point, shared by cmd/surflint
+// and the exit-code tests.
+
+package lint
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Main runs surflint and returns the process exit code:
+//
+//	0  no findings
+//	1  invocation or load error
+//	2  findings reported
+//
+// Invocation forms (dir is the working directory for package
+// resolution; "" means the process working directory):
+//
+//	surflint -V=full               version handshake for go vet
+//	surflint -flags                flag schema handshake for go vet
+//	surflint [flags] unit.cfg      one go vet translation unit
+//	surflint [flags] ./...         standalone mode over package patterns
+//
+// Flags: -<analyzer>=false disables one analyzer (one flag per
+// analyzer, matching the names in All).
+func Main(dir string, args []string, stdout, stderr io.Writer) int {
+	if len(args) == 1 {
+		switch args[0] {
+		case "-V=full":
+			return printVersion(stdout)
+		case "-flags":
+			return printFlags(stdout)
+		}
+	}
+
+	enabled := make(map[string]bool)
+	for _, a := range All() {
+		enabled[a.Name] = true
+	}
+	var operands []string
+	for _, arg := range args {
+		if name, value, ok := parseAnalyzerFlag(arg, enabled); ok {
+			enabled[name] = value
+			continue
+		}
+		if strings.HasPrefix(arg, "-") {
+			fmt.Fprintf(stderr, "surflint: unknown flag %s\n", arg)
+			return 1
+		}
+		operands = append(operands, arg)
+	}
+	var analyzers []*Analyzer
+	for _, a := range All() {
+		if enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	if len(operands) == 1 && strings.HasSuffix(operands[0], ".cfg") {
+		return runUnit(operands[0], analyzers, stderr)
+	}
+	if len(operands) == 0 {
+		fmt.Fprintln(stderr, "usage: surflint [flags] <packages>   (or a go vet .cfg file)")
+		return 1
+	}
+
+	pkgs, err := Load(dir, operands)
+	if err != nil {
+		fmt.Fprintf(stderr, "surflint: %v\n", err)
+		return 1
+	}
+	found := false
+	for _, pkg := range pkgs {
+		diags := RunPackage(pkg.Fset, pkg.Files, pkg.PkgPath, pkg.Pkg, pkg.TypesInfo, analyzers)
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s\n", d)
+			found = true
+		}
+	}
+	if found {
+		return 2
+	}
+	return 0
+}
+
+// parseAnalyzerFlag matches -name, -name=true, -name=false for known
+// analyzer names.
+func parseAnalyzerFlag(arg string, known map[string]bool) (name string, value, ok bool) {
+	if !strings.HasPrefix(arg, "-") {
+		return "", false, false
+	}
+	body := strings.TrimPrefix(strings.TrimPrefix(arg, "-"), "-")
+	name, val, hasVal := strings.Cut(body, "=")
+	if _, isKnown := known[name]; !isKnown {
+		return "", false, false
+	}
+	if !hasVal {
+		return name, true, true
+	}
+	switch val {
+	case "true", "1":
+		return name, true, true
+	case "false", "0":
+		return name, false, true
+	}
+	return "", false, false
+}

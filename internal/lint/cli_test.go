@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Exit-code and driver tests: Main is exercised exactly as cmd/surflint
+// and go vet invoke it, against throwaway modules named parsurf so the
+// package-gated analyzers apply.
+
+// dirtyEngineFile trips detsource (time.Now in an engine package).
+const dirtyEngineFile = `package ca
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`
+
+const cleanEngineFile = `package ca
+
+func Stamp() int64 { return 42 }
+`
+
+// writeModule materializes a temp module from path → contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const goMod = "module parsurf\n\ngo 1.24\n"
+
+func TestMainExitCodes(t *testing.T) {
+	dirty := writeModule(t, map[string]string{
+		"go.mod":             goMod,
+		"internal/ca/ca.go":  dirtyEngineFile,
+		"internal/ok/ok.go":  "package ok\n",
+		"internal/ok/doc.go": "// Package ok is fine.\npackage ok\n",
+	})
+	clean := writeModule(t, map[string]string{
+		"go.mod":            goMod,
+		"internal/ca/ca.go": cleanEngineFile,
+	})
+
+	t.Run("findings exit 2", func(t *testing.T) {
+		var out, errb bytes.Buffer
+		code := Main(dirty, []string{"./..."}, &out, &errb)
+		if code != 2 {
+			t.Fatalf("exit %d, want 2; stderr: %s", code, errb.String())
+		}
+		if !strings.Contains(out.String(), "[surflint:detsource]") ||
+			!strings.Contains(out.String(), "time.Now") {
+			t.Fatalf("diagnostic not printed: %q", out.String())
+		}
+	})
+
+	t.Run("clean exit 0", func(t *testing.T) {
+		var out, errb bytes.Buffer
+		if code := Main(clean, []string{"./..."}, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, want 0; out: %s; stderr: %s", code, out.String(), errb.String())
+		}
+	})
+
+	t.Run("disabled analyzer exit 0", func(t *testing.T) {
+		var out, errb bytes.Buffer
+		if code := Main(dirty, []string{"-detsource=false", "./..."}, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, want 0 with detsource disabled; out: %s", code, out.String())
+		}
+	})
+
+	t.Run("unknown flag exit 1", func(t *testing.T) {
+		var out, errb bytes.Buffer
+		if code := Main(dirty, []string{"-nosuchflag", "./..."}, &out, &errb); code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+		if !strings.Contains(errb.String(), "unknown flag") {
+			t.Fatalf("stderr: %q", errb.String())
+		}
+	})
+
+	t.Run("no operands exit 1", func(t *testing.T) {
+		var out, errb bytes.Buffer
+		if code := Main(dirty, nil, &out, &errb); code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+	})
+
+	t.Run("broken package exit 1", func(t *testing.T) {
+		bad := writeModule(t, map[string]string{
+			"go.mod":            goMod,
+			"internal/ca/ca.go": "package ca\n\nfunc Broken() { return 1 }\n",
+		})
+		var out, errb bytes.Buffer
+		if code := Main(bad, []string{"./..."}, &out, &errb); code != 1 {
+			t.Fatalf("exit %d, want 1; out: %s", code, out.String())
+		}
+	})
+}
+
+func TestMainVetHandshake(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main("", []string{"-V=full"}, &out, &errb); code != 0 {
+		t.Fatalf("-V=full exit %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "surflint version ") {
+		t.Fatalf("-V=full output %q", out.String())
+	}
+
+	out.Reset()
+	if code := Main("", []string{"-flags"}, &out, &errb); code != 0 {
+		t.Fatalf("-flags exit %d", code)
+	}
+	var flags []jsonFlag
+	if err := json.Unmarshal(out.Bytes(), &flags); err != nil {
+		t.Fatalf("-flags output not JSON: %v: %q", err, out.String())
+	}
+	if len(flags) != len(All()) {
+		t.Fatalf("-flags describes %d analyzers, want %d", len(flags), len(All()))
+	}
+	for i, a := range All() {
+		if flags[i].Name != a.Name || !flags[i].Bool {
+			t.Fatalf("flag %d = %+v, want bool flag named %s", i, flags[i], a.Name)
+		}
+	}
+}
+
+// TestGoVetIntegration drives the real `go vet -vettool` protocol:
+// build the binary, point vet at a throwaway module, and require the
+// unitchecker path to relay findings (exit != 0) and stay silent on a
+// clean tree. Skipped in -short mode — it compiles packages.
+func TestGoVetIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs go vet; skipped in -short")
+	}
+	moduleRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(t.TempDir(), "surflint")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/surflint")
+	build.Dir = moduleRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building surflint: %v\n%s", err, out)
+	}
+
+	vet := func(dir string) (int, string) {
+		cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+		cmd.Dir = dir
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = &buf
+		err := cmd.Run()
+		if err == nil {
+			return 0, buf.String()
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode(), buf.String()
+		}
+		t.Fatalf("go vet: %v\n%s", err, buf.String())
+		return -1, ""
+	}
+
+	dirty := writeModule(t, map[string]string{
+		"go.mod":            goMod,
+		"internal/ca/ca.go": dirtyEngineFile,
+	})
+	code, out := vet(dirty)
+	if code == 0 {
+		t.Fatalf("go vet exit 0 on a dirty module; output: %s", out)
+	}
+	if !strings.Contains(out, "[surflint:detsource]") {
+		t.Fatalf("vet output missing the finding: %s", out)
+	}
+
+	clean := writeModule(t, map[string]string{
+		"go.mod":            goMod,
+		"internal/ca/ca.go": cleanEngineFile,
+	})
+	if code, out := vet(clean); code != 0 {
+		t.Fatalf("go vet exit %d on a clean module: %s", code, out)
+	}
+
+	// The real repo must be clean under its own tool — the CI gate.
+	if code, out := vet(moduleRoot); code != 0 {
+		t.Fatalf("go vet exit %d on the repo itself: %s", code, out)
+	}
+}

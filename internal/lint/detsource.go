@@ -1,0 +1,101 @@
+// detsource: engine and simulation packages must draw every random
+// number from parsurf/internal/rng and must never read a wall clock.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// enginePackages are the import paths whose trajectories must be a
+// pure function of (spec, seed): the engines themselves plus the
+// deterministic plumbing they run on. Anything else (the job service,
+// the stores, the CLIs) may read clocks freely.
+var enginePackages = map[string]bool{
+	"parsurf/internal/ca":       true,
+	"parsurf/internal/core":     true,
+	"parsurf/internal/dmc":      true,
+	"parsurf/internal/parallel": true,
+	"parsurf/internal/ziff":     true,
+	"parsurf/internal/eventq":   true,
+	"parsurf/internal/fenwick":  true,
+	"parsurf/internal/model":    true,
+	"parsurf/internal/sim":      true,
+	"parsurf/internal/ensemble": true,
+}
+
+// forbiddenImports are randomness sources other than
+// parsurf/internal/rng. Importing one in an engine package is a
+// finding even before any call: there is no legitimate use.
+var forbiddenImports = map[string]string{
+	"math/rand":    "unseedable-by-spec randomness",
+	"math/rand/v2": "unseedable-by-spec randomness",
+	"crypto/rand":  "nondeterministic randomness",
+}
+
+// wallClockCalls are time-package functions that read the wall clock.
+// time.Duration arithmetic and constants stay legal.
+var wallClockCalls = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// AnalyzerDetSource enforces the determinism-source invariant: in
+// engine/sim packages, the only randomness is parsurf/internal/rng
+// (splittable, spec-seeded, checkpointable) and the only clock is the
+// simulated one. A time.Now or math/rand call in a Step path makes
+// trajectories irreproducible across runs and breaks crash-exact
+// resume, the repo's two headline guarantees.
+var AnalyzerDetSource = &Analyzer{
+	Name: "detsource",
+	Doc: "forbid wall clocks and non-rng randomness in engine packages: " +
+		"trajectories must be a pure function of (spec, seed)",
+	Run: runDetSource,
+}
+
+func runDetSource(p *Pass) error {
+	if !enginePackages[p.PkgPath] {
+		return nil
+	}
+	for _, f := range p.Files {
+		if p.isTestFile(f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, bad := forbiddenImports[path]; bad {
+				p.Reportf(imp.Pos(), "engine package imports %q (%s); use parsurf/internal/rng", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !wallClockCalls[sel.Sel.Name] {
+				return true
+			}
+			if pkgName, ok := sel.X.(*ast.Ident); ok && p.usesPackage(pkgName, "time") {
+				p.Reportf(call.Pos(), "engine package reads the wall clock (time.%s); engines know only simulated time", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// usesPackage reports whether ident resolves to an import of the
+// given package path.
+func (p *Pass) usesPackage(ident *ast.Ident, path string) bool {
+	if obj, ok := p.TypesInfo.Uses[ident].(*types.PkgName); ok {
+		return obj.Imported().Path() == path
+	}
+	return false
+}

@@ -1,0 +1,173 @@
+// surflint directive parsing: //surflint:allow and //surflint:hotpath,
+// plus validation — a mistyped directive is a diagnostic, never a
+// silent no-op.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const directivePrefix = "//surflint:"
+
+// directive is one parsed //surflint: comment.
+type directive struct {
+	pos  token.Pos
+	verb string   // "allow", "hotpath", or an unknown verb (reported)
+	args []string // analyzer names for "allow"
+}
+
+// parseDirective parses a comment into a directive, reporting whether
+// the comment is a surflint directive at all.
+func parseDirective(c *ast.Comment) (directive, bool) {
+	text, ok := strings.CutPrefix(c.Text, directivePrefix)
+	if !ok {
+		return directive{}, false
+	}
+	fields := strings.Fields(text)
+	d := directive{pos: c.Pos()}
+	if len(fields) > 0 {
+		d.verb = fields[0]
+		d.args = fields[1:]
+	}
+	return d, true
+}
+
+// allowIndex records, per file and line, which analyzers an
+// //surflint:allow directive suppresses.
+type allowIndex map[string]map[int]map[string]bool
+
+// allows reports whether a finding by the named analyzer at position
+// pos is covered by a directive on the same line or the line above.
+func (idx allowIndex) allows(analyzer string, pos token.Position) bool {
+	lines := idx[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+}
+
+// buildAllowIndex scans every comment in the files for allow
+// directives. Unknown analyzer names still index (suppression follows
+// the author's intent) but are reported separately by
+// checkDirectives.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := make(allowIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok || d.verb != "allow" {
+					continue
+				}
+				pos := fset.Position(d.pos)
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				for _, name := range d.args {
+					set[name] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// hotpathFuncs returns the function declarations in f whose doc
+// comment carries //surflint:hotpath.
+func hotpathFuncs(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Doc == nil {
+			continue
+		}
+		for _, c := range fn.Doc.List {
+			if d, ok := parseDirective(c); ok && d.verb == "hotpath" {
+				out = append(out, fn)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// checkDirectives validates every surflint directive in the files:
+// unknown verbs, allow directives naming no or unknown analyzers, and
+// hotpath directives that are not a function's doc comment are all
+// diagnostics (analyzer name "directive"), so a typo cannot silently
+// disable a check.
+func checkDirectives(fset *token.FileSet, files []*ast.File, out *[]Diagnostic) {
+	known := knownAnalyzers()
+	report := func(pos token.Pos, format string, args ...any) {
+		*out = append(*out, Diagnostic{
+			Analyzer: "directive",
+			Pos:      fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		// Comments attached as a function's doc block: the only valid
+		// home for //surflint:hotpath.
+		funcDoc := make(map[*ast.Comment]bool)
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Doc != nil {
+				for _, c := range fn.Doc.List {
+					funcDoc[c] = true
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				switch d.verb {
+				case "allow":
+					if len(d.args) == 0 {
+						report(d.pos, "surflint:allow needs at least one analyzer name")
+						continue
+					}
+					for _, name := range d.args {
+						if !known[name] {
+							report(d.pos, "surflint:allow names unknown analyzer %q (known: %s)",
+								name, strings.Join(analyzerNames(), ", "))
+						}
+					}
+				case "hotpath":
+					if len(d.args) != 0 {
+						report(d.pos, "surflint:hotpath takes no arguments")
+					}
+					if !funcDoc[c] {
+						report(d.pos, "surflint:hotpath must be part of a function's doc comment")
+					}
+				case "":
+					report(d.pos, "empty surflint directive")
+				default:
+					report(d.pos, "unknown surflint directive %q (known: allow, hotpath)", d.verb)
+				}
+			}
+		}
+	}
+}
+
+// analyzerNames lists the suite's analyzer names in registration
+// order.
+func analyzerNames() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return names
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// Directive validation can't use want-comment fixtures: the finding
+// sits on the directive's own line, and a want marker appended to a
+// directive comment would become part of the directive text. The
+// expectations live here instead.
+
+// findDiag returns the diagnostics from the given analyzer name at the
+// given line.
+func findDiag(diags []Diagnostic, analyzer string, line int) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == analyzer && d.Pos.Line == line {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestDirectiveValidation(t *testing.T) {
+	src := `package fixture
+
+//surflint:allow nosuchanalyzer
+var a = 1
+
+//surflint:allow
+var b = 1
+
+//surflint:frobnicate
+var c = 1
+
+//surflint:
+var d = 1
+
+//surflint:hotpath
+var e = 1
+
+//surflint:hotpath extra
+func f() {}
+
+//surflint:allow maporder
+var g = 1
+`
+	diags := analyzeSource(t, src, "parsurf/internal/fixture", All())
+	cases := []struct {
+		line int
+		want string
+	}{
+		{3, `unknown analyzer "nosuchanalyzer"`},
+		{6, "needs at least one analyzer name"},
+		{9, `unknown surflint directive "frobnicate"`},
+		{12, "empty surflint directive"},
+		{15, "must be part of a function's doc comment"},
+		{18, "takes no arguments"},
+	}
+	for _, c := range cases {
+		ds := findDiag(diags, "directive", c.line)
+		if len(ds) != 1 || !strings.Contains(ds[0].Message, c.want) {
+			t.Errorf("line %d: got %v, want one diagnostic containing %q", c.line, ds, c.want)
+		}
+	}
+	// The well-formed directives draw no diagnostics: line 18's hotpath
+	// IS a function doc comment (only the argument is reported), and
+	// line 21's allow names a known analyzer.
+	if ds := findDiag(diags, "directive", 21); len(ds) != 0 {
+		t.Errorf("well-formed allow reported: %v", ds)
+	}
+	if len(diags) != len(cases) {
+		t.Errorf("got %d diagnostics, want %d: %v", len(diags), len(cases), diags)
+	}
+}
+
+// TestMisspelledAllowDoesNotSuppress pins the failure mode the
+// validation exists for: a typo'd allow leaves the original finding in
+// place AND reports the typo, so nothing is silently disabled.
+func TestMisspelledAllowDoesNotSuppress(t *testing.T) {
+	src := `package fixture
+
+import "time"
+
+func stamp() time.Time {
+	//surflint:allow detsourc
+	return time.Now()
+}
+`
+	diags := analyzeSource(t, src, "parsurf/internal/ca", All())
+	if ds := findDiag(diags, "directive", 6); len(ds) != 1 || !strings.Contains(ds[0].Message, `unknown analyzer "detsourc"`) {
+		t.Errorf("typo'd allow not reported: %v", diags)
+	}
+	if ds := findDiag(diags, "detsource", 7); len(ds) != 1 {
+		t.Errorf("typo'd allow suppressed the finding it does not name: %v", diags)
+	}
+}
+
+// TestAllowIsPerAnalyzer: an allow for one analyzer does not suppress
+// another's finding on the same line.
+func TestAllowIsPerAnalyzer(t *testing.T) {
+	src := `package fixture
+
+import "time"
+
+func stamp() time.Time {
+	//surflint:allow maporder
+	return time.Now()
+}
+`
+	diags := analyzeSource(t, src, "parsurf/internal/ca", All())
+	if ds := findDiag(diags, "detsource", 7); len(ds) != 1 {
+		t.Errorf("allow for maporder suppressed a detsource finding: %v", diags)
+	}
+}
+
+// TestAllowMultipleAnalyzers: one directive may name several analyzers.
+func TestAllowMultipleAnalyzers(t *testing.T) {
+	src := `package fixture
+
+import "time"
+
+func stamp() time.Time {
+	//surflint:allow maporder detsource
+	return time.Now()
+}
+`
+	diags := analyzeSource(t, src, "parsurf/internal/ca", All())
+	if len(diags) != 0 {
+		t.Errorf("multi-name allow failed to suppress: %v", diags)
+	}
+}

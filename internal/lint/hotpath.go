@@ -1,0 +1,124 @@
+// hotpath: functions annotated //surflint:hotpath are the per-event
+// and per-replica loops PR 5 made allocation-free; flag the constructs
+// that would put allocations back.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerHotPath enforces the 0 allocs/event contract on annotated
+// functions (the Step/Reset/sweep paths, pinned at runtime by the CI
+// bench gate). It flags alloc-prone constructs syntactically — defer,
+// go, closure literals, fmt calls, string concatenation, make/new,
+// map/slice composite literals, &T{…}, and explicit conversions to
+// interface types (boxing) — so a regression is named at the line
+// that introduced it instead of hunted down by profiler. Cold panics
+// and deliberate goroutine fan-out carry //surflint:allow hotpath.
+var AnalyzerHotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "flag alloc-prone constructs (defer, go, closures, fmt, string " +
+		"concat, make/new, map/slice literals, interface boxing) in " +
+		"//surflint:hotpath functions",
+	Run: runHotPath,
+}
+
+func runHotPath(p *Pass) error {
+	for _, f := range p.Files {
+		if p.isTestFile(f) {
+			continue
+		}
+		for _, fn := range hotpathFuncs(f) {
+			if fn.Body == nil {
+				continue
+			}
+			p.checkHotBody(fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkHotBody walks one hot function body. Closure literals are
+// reported once and not descended into: their body runs on whatever
+// path captures them, and the capture itself is the allocation.
+func (p *Pass) checkHotBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			p.Reportf(n.Pos(), "defer in hot path: the deferred frame is per-call overhead")
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(), "go statement in hot path: goroutine launch per call")
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "closure literal in hot path: capturing closures escape and allocate")
+			return false
+		case *ast.CallExpr:
+			return p.checkHotCall(n)
+		case *ast.CompositeLit:
+			t := p.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				p.Reportf(n.Pos(), "map literal in hot path allocates")
+			case *types.Slice:
+				p.Reportf(n.Pos(), "slice literal in hot path allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					p.Reportf(n.Pos(), "&composite literal in hot path escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(p.TypesInfo.TypeOf(n)) {
+				p.Reportf(n.Pos(), "string concatenation in hot path allocates")
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags fmt calls, make/new, and explicit boxing
+// conversions. Returns whether to descend into the call's children.
+func (p *Pass) checkHotCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if _, isBuiltin := p.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+			switch fun.Name {
+			case "make":
+				p.Reportf(call.Pos(), "make in hot path allocates; hoist the buffer into the struct and reuse it")
+			case "new":
+				p.Reportf(call.Pos(), "new in hot path allocates")
+			}
+			return true
+		}
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok && p.usesPackage(pkg, "fmt") {
+			p.Reportf(call.Pos(), "fmt.%s in hot path allocates (formatting boxes its operands)", fun.Sel.Name)
+			return true
+		}
+	}
+	// Explicit conversion to an interface type: T(x) where T is an
+	// interface and x is concrete — the value boxes.
+	if tv, ok := p.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if types.IsInterface(tv.Type) {
+			if argT := p.TypesInfo.TypeOf(call.Args[0]); argT != nil && !types.IsInterface(argT) {
+				p.Reportf(call.Pos(), "conversion to interface type %s in hot path boxes the value", tv.Type.String())
+			}
+		}
+	}
+	return true
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

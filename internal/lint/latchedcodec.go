@@ -1,0 +1,187 @@
+// latchedcodec: checkpoint persistence must flow through the
+// error-latching persist.Writer/Reader, and a function that opens a
+// codec must consult its latch before returning.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// AnalyzerLatchedCodec enforces the persistence-codec discipline at
+// every persist call site (any file importing parsurf/internal/persist,
+// except the persist package itself, whose job is the raw I/O):
+//
+//   - encoding/binary.Write / binary.Read bypass the latch entirely —
+//     their per-call error is invariably dropped in streaming code;
+//   - once a raw io.Writer/io.Reader is wrapped by persist.NewWriter /
+//     persist.NewReader, further direct Write/Read calls on the raw
+//     stream interleave unlatched bytes with latched ones;
+//   - a function that creates a codec and never consults Err() (and
+//     does not hand the codec to its caller) can return having
+//     silently dropped a short write: a checkpoint that looks saved
+//     but is torn.
+var AnalyzerLatchedCodec = &Analyzer{
+	Name: "latchedcodec",
+	Doc: "persist call sites must stream through the error-latching codec " +
+		"and check Err() before returning",
+	Run: runLatchedCodec,
+}
+
+const persistPath = "parsurf/internal/persist"
+
+func runLatchedCodec(p *Pass) error {
+	if p.PkgPath == persistPath {
+		return nil
+	}
+	for _, f := range p.Files {
+		if p.isTestFile(f) || !importsPath(f, persistPath) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if pkg, ok := sel.X.(*ast.Ident); ok && p.usesPackage(pkg, "encoding/binary") &&
+						(sel.Sel.Name == "Write" || sel.Sel.Name == "Read") {
+						p.Reportf(n.Pos(), "binary.%s bypasses the error-latching persist codec; use persist.NewWriter/NewReader", sel.Sel.Name)
+					}
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					p.checkCodecFunc(n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// codecUse tracks one persist.NewWriter/NewReader call inside a
+// function: the codec variable, the raw stream it wrapped, and what
+// the body does with both.
+type codecUse struct {
+	codec      types.Object // the *persist.Writer / *persist.Reader variable
+	raw        types.Object // the wrapped io.Writer / io.Reader variable (may be nil)
+	pos        ast.Node
+	kind       string // "Writer" or "Reader"
+	errChecked bool
+	escapes    bool
+}
+
+// checkCodecFunc analyzes one function for codec discipline.
+func (p *Pass) checkCodecFunc(fn *ast.FuncDecl) {
+	var uses []*codecUse
+
+	// First pass: find `c := persist.NewWriter(w)` / NewReader forms.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || !p.usesPackage(pkg, persistPath) {
+			return true
+		}
+		var kind string
+		switch sel.Sel.Name {
+		case "NewWriter":
+			kind = "Writer"
+		case "NewReader":
+			kind = "Reader"
+		default:
+			return true
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		u := &codecUse{codec: p.TypesInfo.ObjectOf(lhs), pos: as, kind: kind}
+		if len(call.Args) == 1 {
+			if raw, ok := call.Args[0].(*ast.Ident); ok {
+				u.raw = p.TypesInfo.ObjectOf(raw)
+			}
+		}
+		if u.codec != nil {
+			uses = append(uses, u)
+		}
+		return true
+	})
+	if len(uses) == 0 {
+		return
+	}
+
+	// Second pass: classify every use of the codec and raw variables.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			base, ok := n.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.TypesInfo.ObjectOf(base)
+			for _, u := range uses {
+				if obj == u.codec && n.Sel.Name == "Err" {
+					u.errChecked = true
+				}
+				if obj == u.raw && (n.Sel.Name == "Write" || n.Sel.Name == "Read") {
+					p.Reportf(n.Pos(), "raw %s.%s after wrapping in a persist.%s: bytes bypass the latch and interleave with the codec stream",
+						base.Name, n.Sel.Name, u.kind)
+				}
+			}
+		case *ast.CallExpr:
+			// A codec passed as an argument (not the receiver of its own
+			// method) or returned escapes: the caller owns the latch.
+			for _, arg := range n.Args {
+				if id, ok := arg.(*ast.Ident); ok {
+					obj := p.TypesInfo.ObjectOf(id)
+					for _, u := range uses {
+						if obj == u.codec {
+							u.escapes = true
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id, ok := res.(*ast.Ident); ok {
+					obj := p.TypesInfo.ObjectOf(id)
+					for _, u := range uses {
+						if obj == u.codec {
+							u.escapes = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, u := range uses {
+		if !u.errChecked && !u.escapes {
+			p.Reportf(u.pos.Pos(), "persist.%s created but Err() never checked: a short %s is silently dropped and the checkpoint is torn",
+				u.kind, map[string]string{"Writer": "write", "Reader": "read"}[u.kind])
+		}
+	}
+}
+
+// importsPath reports whether the file imports the given path.
+func importsPath(f *ast.File, path string) bool {
+	for _, imp := range f.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == path {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The fixture harness: a miniature analysistest. Each analyzer has a
+// directory under testdata/ whose files carry `// want `regex``
+// comments on the lines where a finding is expected. The harness
+// type-checks the fixture (claiming whatever import path the test
+// names, so package-gated analyzers can be pointed at engine paths),
+// runs RunPackage, and requires an exact match: every diagnostic
+// covered by a want on its line, every want consumed by a diagnostic.
+
+// loadFixture parses and type-checks the .go files in testdata/<dir>
+// under the claimed import path. The source importer resolves both
+// stdlib and parsurf/... imports (the test runs inside the module).
+func loadFixture(t *testing.T, dir, pkgPath string) *LoadedPackage {
+	t.Helper()
+	root := filepath.Join("testdata", dir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(root, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", root)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	return &LoadedPackage{Fset: fset, Files: files, PkgPath: pkgPath, Pkg: pkg, TypesInfo: info}
+}
+
+// expectation is one `// want` regex with its location.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRe extracts the backquoted regexes of a `// want` comment.
+var wantRe = regexp.MustCompile("`([^`]+)`")
+
+// collectWants scans fixture comments for `// want `re“ markers.
+func collectWants(t *testing.T, p *LoadedPackage) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "// ")
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				ms := wantRe.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s: want comment without a backquoted regex", pos)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regex %q: %v", pos, m[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture runs the analyzers over testdata/<dir> and checks the
+// diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, dir, pkgPath string, analyzers []*Analyzer) {
+	t.Helper()
+	p := loadFixture(t, dir, pkgPath)
+	wants := collectWants(t, p)
+	diags := RunPackage(p.Fset, p.Files, p.PkgPath, p.Pkg, p.TypesInfo, analyzers)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestDetSourceFixture(t *testing.T) {
+	// Claimed as an engine package: the analyzer is gated on the path.
+	runFixture(t, "detsource", "parsurf/internal/ca", []*Analyzer{AnalyzerDetSource})
+}
+
+func TestDetSourceIgnoresNonEnginePackages(t *testing.T) {
+	// The same dirty fixture under a service-layer path: every want
+	// must go unmatched, so strip them by expecting zero diagnostics.
+	p := loadFixture(t, "detsource", "parsurf/internal/store")
+	diags := RunPackage(p.Fset, p.Files, p.PkgPath, p.Pkg, p.TypesInfo, []*Analyzer{AnalyzerDetSource})
+	if len(diags) != 0 {
+		t.Fatalf("detsource fired outside an engine package: %v", diags)
+	}
+}
+
+func TestDetSourceIgnoresTestVariantSuffix(t *testing.T) {
+	// The build system names a test variant "path [path.test]"; the
+	// gate must normalize it back to the engine package.
+	p := loadFixture(t, "detsource", "parsurf/internal/ca")
+	diags := RunPackage(p.Fset, p.Files, "parsurf/internal/ca [parsurf/internal/ca.test]",
+		p.Pkg, p.TypesInfo, []*Analyzer{AnalyzerDetSource})
+	if len(diags) == 0 {
+		t.Fatal("detsource silent on a test-variant package path")
+	}
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	runFixture(t, "maporder", "parsurf/internal/fixture", []*Analyzer{AnalyzerMapOrder})
+}
+
+func TestHotPathFixture(t *testing.T) {
+	runFixture(t, "hotpath", "parsurf/internal/fixture", []*Analyzer{AnalyzerHotPath})
+}
+
+func TestLatchedCodecFixture(t *testing.T) {
+	runFixture(t, "latchedcodec", "parsurf/internal/fixture", []*Analyzer{AnalyzerLatchedCodec})
+}
+
+func TestLatchedCodecSkipsPersistItself(t *testing.T) {
+	p := loadFixture(t, "latchedcodec", persistPath)
+	diags := RunPackage(p.Fset, p.Files, persistPath, p.Pkg, p.TypesInfo, []*Analyzer{AnalyzerLatchedCodec})
+	if len(diags) != 0 {
+		t.Fatalf("latchedcodec fired inside the persist package: %v", diags)
+	}
+}
+
+func TestAtomicSlotFixture(t *testing.T) {
+	runFixture(t, "atomicslot", "parsurf/internal/fixture", []*Analyzer{AnalyzerAtomicSlot})
+}
+
+// TestFixturesAreExercised guards the harness itself: a fixture whose
+// wants silently stopped matching would pass runFixture with zero
+// diagnostics and zero wants if the file went missing.
+func TestFixturesAreExercised(t *testing.T) {
+	for _, dir := range []string{"detsource", "maporder", "hotpath", "latchedcodec", "atomicslot"} {
+		p := loadFixture(t, dir, "parsurf/internal/fixture")
+		if len(collectWants(t, p)) == 0 {
+			t.Errorf("fixture %s has no want comments", dir)
+		}
+	}
+}
+
+// TestAllowSuppressesSameLineAndLineBelow pins the directive's scope
+// rules without fixtures.
+func TestAllowSuppressesSameLineAndLineBelow(t *testing.T) {
+	src := `package fixture
+
+import "time"
+
+func sameLine() time.Time {
+	return time.Now() //surflint:allow detsource
+}
+
+func lineBelow() time.Time {
+	//surflint:allow detsource
+	return time.Now()
+}
+
+func twoBelow() time.Time {
+	//surflint:allow detsource
+
+	return time.Now()
+}
+`
+	diags := analyzeSource(t, src, "parsurf/internal/ca", []*Analyzer{AnalyzerDetSource})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the out-of-range one: %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 17 {
+		t.Fatalf("surviving diagnostic at line %d, want 17 (two lines below the directive): %v", diags[0].Pos.Line, diags[0])
+	}
+}
+
+// analyzeSource type-checks one in-memory file and runs the analyzers.
+func analyzeSource(t *testing.T, src, pkgPath string, analyzers []*Analyzer) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunPackage(fset, []*ast.File{f}, pkgPath, pkg, info, analyzers)
+}
+
+// TestDiagnosticsSortedByPosition pins RunPackage's output order,
+// which the CLI relies on for stable output.
+func TestDiagnosticsSortedByPosition(t *testing.T) {
+	src := `package fixture
+
+import "time"
+
+func b() time.Time { return time.Now() }
+
+func a() time.Time { return time.Now() }
+`
+	diags := analyzeSource(t, src, "parsurf/internal/ca", []*Analyzer{AnalyzerDetSource})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2", len(diags))
+	}
+	if !sort.SliceIsSorted(diags, func(i, j int) bool { return diags[i].Pos.Line < diags[j].Pos.Line }) {
+		t.Fatalf("diagnostics not sorted by line: %v", diags)
+	}
+	for i, d := range diags {
+		want := fmt.Sprintf("fixture.go:%d", d.Pos.Line)
+		if !strings.HasPrefix(d.String(), want) || !strings.HasSuffix(d.String(), "[surflint:detsource]") {
+			t.Fatalf("diagnostic %d renders as %q", i, d)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Standalone package loading: `surflint ./...` without go vet. The
+// loader shells out to `go list -json` for package discovery, parses
+// the non-test sources itself, and type-checks against the "source"
+// importer (dependencies are type-checked from source, so no export
+// data or network is needed). Test files are skipped — every analyzer
+// exempts them anyway, and loading them standalone would require the
+// test dependency graph; under `go vet` the test variants arrive as
+// their own translation units and are analyzed there.
+
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Error      *struct {
+		Err string
+	}
+}
+
+// LoadedPackage is one parsed, type-checked package ready for
+// analysis.
+type LoadedPackage struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	PkgPath   string
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Load resolves the given package patterns (as the go tool would, in
+// directory dir — "" for the current directory) and returns the
+// type-checked packages.
+func Load(dir string, patterns []string) ([]*LoadedPackage, error) {
+	args := append([]string{"list", "-e", "-json=ImportPath,Dir,GoFiles,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	fset := token.NewFileSet()
+	// One source importer shared across packages: dependency
+	// type-checks are memoized, so the module graph loads once.
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*LoadedPackage
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		info := NewTypesInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, &LoadedPackage{
+			Fset:      fset,
+			Files:     files,
+			PkgPath:   lp.ImportPath,
+			Pkg:       pkg,
+			TypesInfo: info,
+		})
+	}
+	return pkgs, nil
+}

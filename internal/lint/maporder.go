@@ -1,0 +1,196 @@
+// maporder: map iteration whose body leaks iteration order into a
+// result — the exact shape of the ddrsm channel-arrival-order clock
+// merge and the unsorted /jobs listing.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerMapOrder flags `for … range m` over a map whose body makes
+// iteration order observable: accumulating floats (float addition is
+// not associative, so the sum depends on visit order), appending to a
+// slice declared outside the loop (the listing-order bug), or writing
+// to an encoder/writer. The canonical fix — collect keys, sort, range
+// the sorted slice — does not iterate a map and passes by
+// construction; an append whose slice is later sorted in the same
+// function is recognized and skipped.
+var AnalyzerMapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration that accumulates floats, appends to an escaping " +
+		"slice, or writes to an encoder: map order leaks into the result",
+	Run: runMapOrder,
+}
+
+// orderSinkMethods are method names whose call inside a map-range body
+// streams bytes or tokens in iteration order.
+var orderSinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+}
+
+func runMapOrder(p *Pass) error {
+	for _, f := range p.Files {
+		if p.isTestFile(f) {
+			continue
+		}
+		sorted := sortedSlices(p, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			p.checkMapRangeBody(rs, sorted)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRangeBody walks one map-range body for order leaks.
+func (p *Pass) checkMapRangeBody(rs *ast.RangeStmt, sorted map[types.Object]bool) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			p.checkMapRangeAssign(rs, n, sorted)
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if orderSinkMethods[sel.Sel.Name] && len(n.Args) > 0 {
+					p.Reportf(n.Pos(), "%s call inside map iteration emits in map order; iterate sorted keys instead", sel.Sel.Name)
+				} else if pkg, ok := sel.X.(*ast.Ident); ok && p.usesPackage(pkg, "fmt") &&
+					(sel.Sel.Name == "Fprintf" || sel.Sel.Name == "Fprintln" || sel.Sel.Name == "Fprint") {
+					p.Reportf(n.Pos(), "fmt.%s inside map iteration emits in map order; iterate sorted keys instead", sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags float accumulation and escaping appends.
+func (p *Pass) checkMapRangeAssign(rs *ast.RangeStmt, as *ast.AssignStmt, sorted map[types.Object]bool) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			obj := p.baseObject(lhs)
+			if obj == nil || !p.declaredOutside(obj, rs) {
+				continue
+			}
+			if isFloat(p.TypesInfo.TypeOf(lhs)) {
+				p.Reportf(as.Pos(), "float accumulation across map iteration: the reduction order, and so the rounding, follows map order")
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || len(as.Lhs) <= i {
+				continue
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" {
+				continue
+			}
+			if _, isBuiltin := p.TypesInfo.Uses[fn].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			obj := p.baseObject(as.Lhs[i])
+			if obj == nil || !p.declaredOutside(obj, rs) {
+				continue
+			}
+			if sorted[obj] {
+				continue // collect-then-sort idiom: order is laundered
+			}
+			p.Reportf(as.Pos(), "append to %s inside map iteration fixes map order into the slice; sort it (or iterate sorted keys)", obj.Name())
+		}
+	}
+}
+
+// sortedSlices collects objects passed to a sort call anywhere in the
+// file: sort.Strings(s), sort.Ints(s), sort.Float64s(s),
+// sort.Slice(s, …), slices.Sort(s), slices.SortFunc(s, …). An append
+// into such a slice is the collect-then-sort idiom.
+func sortedSlices(p *Pass, f *ast.File) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		isSortPkg := p.usesPackage(pkg, "sort") || p.usesPackage(pkg, "slices")
+		if !isSortPkg {
+			return true
+		}
+		if obj := p.baseObject(call.Args[0]); obj != nil {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// baseObject resolves the variable at the root of an lvalue:
+// x, x[i], x.f, *x all resolve to x's object (for x.f, the field when
+// the selection names one directly on an identifier is less useful
+// than the receiver for escape reasoning, so the receiver wins).
+func (p *Pass) baseObject(e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return p.TypesInfo.ObjectOf(v)
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration lies outside the
+// range statement: writes to it survive the loop, so iteration order
+// escapes.
+func (p *Pass) declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	if obj == nil {
+		return false
+	}
+	pos := obj.Pos()
+	if !pos.IsValid() {
+		return true // fields, package-level: outside by definition
+	}
+	return pos < rs.Pos() || pos >= rs.End()
+}
+
+// isFloat reports whether t's underlying type is a float.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

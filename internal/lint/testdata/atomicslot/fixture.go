@@ -1,0 +1,42 @@
+// The atomicslot fixture: a field accessed atomically in one method
+// and plainly in another, next to fields that keep one discipline.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64
+	cold int
+}
+
+// inc establishes n's atomic discipline.
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+// load keeps the discipline: sanctioned.
+func (c *counter) load() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// read breaks it: a plain load races with inc.
+func (c *counter) read() uint64 {
+	return c.n // want `plain access of n, which is accessed atomically at`
+}
+
+// reset breaks it with a plain store.
+func (c *counter) reset() {
+	c.n = 0 // want `plain access of n`
+}
+
+// coldRead touches a field with no atomic history: clean.
+func (c *counter) coldRead() int {
+	return c.cold
+}
+
+// snapshot documents a reviewed exception (e.g. called only before
+// the goroutines that contend on n are launched).
+func (c *counter) snapshot() uint64 {
+	//surflint:allow atomicslot
+	return c.n
+}

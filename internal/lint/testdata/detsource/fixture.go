@@ -1,0 +1,37 @@
+// The detsource fixture: claimed as parsurf/internal/ca by the test
+// harness, so the engine-package gate applies.
+package fixture
+
+import (
+	"math/rand" // want `engine package imports "math/rand" \(unseedable-by-spec randomness\); use parsurf/internal/rng`
+	"time"
+)
+
+// stamp reads the wall clock: never legal in an engine.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `engine package reads the wall clock \(time\.Now\); engines know only simulated time`
+}
+
+// elapsed also reads the wall clock, through Since.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `engine package reads the wall clock \(time\.Since\)`
+}
+
+// draw uses the forbidden import; the import line is the finding, the
+// call is not reported again.
+func draw() int {
+	return rand.Int()
+}
+
+// pollInterval does arithmetic on durations: no clock is read, so no
+// finding.
+func pollInterval() time.Duration {
+	return 5 * time.Millisecond
+}
+
+// sanctioned carries the escape directive: a deliberate, reviewed
+// exception is suppressed but stays greppable.
+func sanctioned() time.Time {
+	//surflint:allow detsource
+	return time.Now()
+}

@@ -1,0 +1,60 @@
+// The hotpath fixture: every alloc-prone construct the analyzer names,
+// inside an annotated function, plus a cold twin that is left alone.
+package fixture
+
+import "fmt"
+
+type eng struct {
+	buf []int
+	n   int
+}
+
+func (e *eng) work() {}
+
+// Step is the annotated hot loop: one finding per line.
+//
+//surflint:hotpath
+func (e *eng) Step() bool {
+	e.buf = make([]int, e.n) // want `make in hot path allocates`
+	go e.work()              // want `go statement in hot path`
+	f := func() { e.n++ }    // want `closure literal in hot path`
+	f()
+	m := map[int]bool{} // want `map literal in hot path allocates`
+	_ = m
+	s := []int{1} // want `slice literal in hot path allocates`
+	_ = s
+	q := new(int) // want `new in hot path allocates`
+	_ = q
+	p := &eng{} // want `&composite literal in hot path escapes`
+	_ = p
+	fmt.Println(e.n) // want `fmt\.Println in hot path allocates`
+	msg := "a" + "b" // want `string concatenation in hot path allocates`
+	_ = msg
+	var x any = nil
+	x = any(e.n) // want `conversion to interface type any in hot path boxes the value`
+	_ = x
+	return true
+}
+
+// Teardown is hot and defers: the deferred frame is per-call overhead.
+//
+//surflint:hotpath
+func (e *eng) Teardown() {
+	defer e.work() // want `defer in hot path`
+}
+
+// Fanout is hot but its goroutine launch is a reviewed exception.
+//
+//surflint:hotpath
+func (e *eng) Fanout() {
+	//surflint:allow hotpath
+	go e.work()
+}
+
+// Cold is not annotated: the same constructs draw no findings.
+func (e *eng) Cold() {
+	e.buf = make([]int, e.n)
+	defer e.work()
+	go e.work()
+	fmt.Println(e.n)
+}

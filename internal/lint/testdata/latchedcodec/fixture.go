@@ -1,0 +1,72 @@
+// The latchedcodec fixture: persistence call sites that bypass or
+// forget the error latch, next to the disciplined forms.
+package fixture
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+
+	"parsurf/internal/persist"
+)
+
+// rawBinary serializes around the codec entirely.
+func rawBinary(w io.Writer, x uint32) error {
+	return binary.Write(w, binary.LittleEndian, x) // want `binary\.Write bypasses the error-latching persist codec`
+}
+
+// rawBinaryRead is the decode twin.
+func rawBinaryRead(r io.Reader, x *uint32) error {
+	return binary.Read(r, binary.LittleEndian, x) // want `binary\.Read bypasses the error-latching persist codec`
+}
+
+// torn creates a codec and returns without consulting the latch: a
+// short write is silently dropped.
+func torn(w io.Writer) {
+	e := persist.NewWriter(w) // want `persist\.Writer created but Err\(\) never checked`
+	e.U32(1)
+}
+
+// tornReader is the decode twin.
+func tornReader(r io.Reader) uint32 {
+	d := persist.NewReader(r) // want `persist\.Reader created but Err\(\) never checked`
+	return d.U32()
+}
+
+// disciplined checks the latch before returning: clean.
+func disciplined(w io.Writer) error {
+	e := persist.NewWriter(w)
+	e.U32(1)
+	e.U64(2)
+	return e.Err()
+}
+
+// interleaved writes to the raw stream after wrapping it: those bytes
+// bypass the latch.
+func interleaved(w *bytes.Buffer) error {
+	e := persist.NewWriter(w)
+	e.U32(1)
+	w.Write([]byte{0xff}) // want `raw w\.Write after wrapping in a persist\.Writer`
+	return e.Err()
+}
+
+// handsOff passes the codec to a helper: the caller owns the latch, so
+// no finding here.
+func handsOff(w io.Writer, fill func(*persist.Writer)) {
+	e := persist.NewWriter(w)
+	fill(e)
+}
+
+// returned hands the codec back: same ownership transfer.
+func returned(w io.Writer) *persist.Writer {
+	e := persist.NewWriter(w)
+	e.U32(7)
+	return e
+}
+
+// sanctioned documents a reviewed exception.
+func sanctioned(w io.Writer) {
+	//surflint:allow latchedcodec
+	e := persist.NewWriter(w)
+	e.U32(1)
+}

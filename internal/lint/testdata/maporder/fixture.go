@@ -1,0 +1,86 @@
+// The maporder fixture: map-range bodies that leak iteration order
+// into results, next to the sanctioned collect-then-sort idiom.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// sumFloats accumulates a float across map order: the rounding of the
+// reduction depends on visit order.
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation across map iteration`
+	}
+	return total
+}
+
+// keysUnsorted fixes map order into the returned slice.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside map iteration fixes map order into the slice`
+	}
+	return out
+}
+
+// keysSorted is the canonical fix: the append target is sorted in the
+// same function, so the order is laundered and nothing is reported.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// dump streams entries in map order.
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside map iteration emits in map order`
+	}
+}
+
+// render writes through a builder in map order.
+func render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString call inside map iteration emits in map order`
+	}
+	return b.String()
+}
+
+// sumInts accumulates an int: integer addition is associative, so the
+// result is order-independent and nothing is reported.
+func sumInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// loopLocal appends to a slice scoped inside the loop body: nothing
+// escapes an iteration, so nothing is reported.
+func loopLocal(m map[string][]int, sink func([]int)) {
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		sink(local)
+	}
+}
+
+// sanctioned documents a deliberate order-dependent append.
+func sanctioned(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//surflint:allow maporder
+		out = append(out, k)
+	}
+	return out
+}

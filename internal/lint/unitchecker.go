@@ -1,0 +1,168 @@
+// The `go vet -vettool` protocol. When cmd/go drives a vet tool it
+// invokes it three ways:
+//
+//	surflint -V=full          → print a versioned identity line
+//	surflint -flags           → print the supported flags as JSON
+//	surflint [flags] x.cfg    → analyze one translation unit
+//
+// The .cfg file is JSON describing a single compiled package: source
+// files, the import map, and — crucially — the build cache paths of
+// every dependency's export data. Type-checking against that export
+// data (via the standard library's gc importer with a lookup
+// function) reproduces exactly what golang.org/x/tools'
+// unitchecker does, without the dependency.
+//
+// Diagnostics print to stderr as file:line:col: message, and the tool
+// exits 2 — go vet relays both, so a finding fails the build exactly
+// like a vet error. The tool writes an (empty) facts file to
+// cfg.VetxOutput: surflint's analyzers are all single-package, but
+// cmd/go requires the file to exist for its action cache.
+
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors the JSON schema cmd/go writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes the translation unit described by cfgPath with the
+// enabled analyzers, printing diagnostics to stderr. Return value is
+// the process exit code: 0 clean, 1 broken invocation, 2 findings.
+func runUnit(cfgPath string, analyzers []*Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "surflint: reading config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "surflint: parsing config %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go runs the tool over the entire dependency graph so tools
+	// with cross-package facts can propagate them. surflint's analyzers
+	// are single-package and repo-specific: dependency units and
+	// foreign modules need no analysis, only the facts file.
+	if writeVetx := func() bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "surflint: writing facts: %v\n", err)
+			return false
+		}
+		return true
+	}; !writeVetx() {
+		return 1
+	}
+	if cfg.VetxOnly || !strings.HasPrefix(normalizePkgPath(cfg.ImportPath), "parsurf") {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(stderr, "surflint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "source"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "surflint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags := RunPackage(fset, files, cfg.ImportPath, pkg, info, analyzers)
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printVersion emits the identity line cmd/go's vet driver expects
+// from `tool -V=full`: a name and a content-derived build identifier,
+// so the action cache invalidates when the tool binary changes.
+func printVersion(stdout io.Writer) int {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			id = fmt.Sprintf("%x", sha256.Sum256(data))
+		}
+	}
+	fmt.Fprintf(stdout, "surflint version devel buildID=%s\n", id)
+	return 0
+}
+
+// jsonFlag mirrors the flag-description schema cmd/go reads from
+// `tool -flags` to validate user-supplied vet flags.
+type jsonFlag struct {
+	Name  string `json:"Name"`
+	Bool  bool   `json:"Bool"`
+	Usage string `json:"Usage"`
+}
+
+// printFlags describes the analyzer enable/disable flags.
+func printFlags(stdout io.Writer) int {
+	var flags []jsonFlag
+	for _, a := range All() {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s\n", data)
+	return 0
+}

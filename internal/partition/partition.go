@@ -14,6 +14,7 @@ package partition
 
 import (
 	"fmt"
+	"sort"
 
 	"parsurf/internal/lattice"
 	"parsurf/internal/model"
@@ -183,10 +184,23 @@ func conflictOffsets(m *model.Model) []lattice.Vec {
 			}
 		}
 	}
-	out := make([]lattice.Vec, 0, len(deltas))
-	for d := range deltas {
-		out = append(out, d)
+	return sortedVecs(deltas)
+}
+
+// sortedVecs flattens a Vec set into a (DX, DY)-ordered slice: callers
+// iterate the result, so a stable order keeps search outcomes and
+// conflict error messages identical run to run.
+func sortedVecs(set map[lattice.Vec]bool) []lattice.Vec {
+	out := make([]lattice.Vec, 0, len(set))
+	for v := range set {
+		out = append(out, v)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DX != out[j].DX {
+			return out[i].DX < out[j].DX
+		}
+		return out[i].DY < out[j].DY
+	})
 	return out
 }
 
@@ -262,11 +276,7 @@ func VerifyNonOverlapType(p *Partition, rt *model.ReactionType) error {
 }
 
 func mapKeys(m map[lattice.Vec]bool) []lattice.Vec {
-	out := make([]lattice.Vec, 0, len(m))
-	for v := range m {
-		out = append(out, v)
-	}
-	return out
+	return sortedVecs(m)
 }
 
 // verifyDisjointUnions stamps every site of U(s) = s + offs for each

@@ -424,3 +424,32 @@ func TestQuickVerifyAgainstBruteForce(t *testing.T) {
 		}
 	}
 }
+
+// conflictOffsets and mapKeys flatten map-keyed sets; their output
+// order feeds the modular-colouring search and the overlap error
+// messages, so it must not inherit Go's randomized map iteration.
+// Regression test for a surflint:maporder finding.
+func TestConflictOffsetsDeterministic(t *testing.T) {
+	m := model.NewZGB(model.DefaultZGBRates())
+	first := conflictOffsets(m)
+	if len(first) == 0 {
+		t.Fatal("ZGB has no conflict offsets?")
+	}
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		if a.DX > b.DX || (a.DX == b.DX && a.DY >= b.DY) {
+			t.Fatalf("conflictOffsets not in (DX, DY) order at %d: %v then %v", i-1, a, b)
+		}
+	}
+	for trial := 0; trial < 8; trial++ {
+		again := conflictOffsets(m)
+		if len(again) != len(first) {
+			t.Fatalf("trial %d: %d offsets vs %d", trial, len(again), len(first))
+		}
+		for i := range again {
+			if again[i] != first[i] {
+				t.Fatalf("trial %d: order diverged at %d: %v vs %v", trial, i, again[i], first[i])
+			}
+		}
+	}
+}

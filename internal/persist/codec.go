@@ -122,8 +122,14 @@ func (d *Reader) F64() float64 { return math.Float64frombits(d.U64()) }
 // Bytes fills p with the next len(p) bytes.
 func (d *Reader) Bytes(p []byte) { d.read(p) }
 
+// blockChunk bounds the per-iteration allocation of Block and
+// ReadChunked: the length prefix is untrusted input, so memory must
+// grow with bytes actually read, never with the claim.
+const blockChunk = 1 << 16
+
 // Block reads a uint32 length prefix and the prefixed bytes, refusing
-// lengths above maxLen.
+// lengths above maxLen. The buffer grows chunk by chunk, so a
+// truncated stream with an inflated claim costs one chunk, not maxLen.
 func (d *Reader) Block(maxLen int) []byte {
 	n := d.U32()
 	if d.err != nil {
@@ -133,10 +139,25 @@ func (d *Reader) Block(maxLen int) []byte {
 		d.Failf("persist: block of %d bytes exceeds limit %d", n, maxLen)
 		return nil
 	}
-	p := make([]byte, n)
-	d.read(p)
+	return d.ReadChunked(int(n))
+}
+
+// ReadChunked reads exactly n bytes as Bytes would, but caps each
+// allocation step at blockChunk so untrusted length claims cannot
+// force large allocations ahead of the data backing them. Returns nil
+// after any error.
+func (d *Reader) ReadChunked(n int) []byte {
 	if d.err != nil {
 		return nil
+	}
+	p := make([]byte, 0, min(n, blockChunk))
+	for len(p) < n {
+		c := min(n-len(p), blockChunk)
+		p = append(p, make([]byte, c)...)
+		d.read(p[len(p)-c:])
+		if d.err != nil {
+			return nil
+		}
 	}
 	return p
 }

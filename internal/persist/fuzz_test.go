@@ -1,0 +1,78 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"parsurf/internal/lattice"
+	"parsurf/internal/rng"
+)
+
+// validCheckpointBytes serializes a small real checkpoint as a fuzz
+// seed, so the fuzzer starts from the valid format and mutates inward.
+func validCheckpointBytes(t testing.TB) []byte {
+	lat := lattice.New(4, 4)
+	cfg := lattice.NewConfig(lat)
+	cells := cfg.Cells()
+	for i := range cells {
+		cells[i] = lattice.Species(i % 3)
+	}
+	c := &Checkpoint{
+		Engine:     "rsm",
+		SpecHash:   "cafe",
+		NumSpecies: 3,
+		Steps:      7,
+		Time:       1.5,
+		Config:     cfg,
+		RNG:        rng.New(42),
+		Payload:    []byte{9, 8, 7},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzPersistLoad: Load must never panic or allocate proportionally to
+// untrusted claims, whatever the bytes; and whenever it accepts an
+// input, re-serializing the result must reproduce the input exactly
+// (the format is canonical and self-delimiting).
+func FuzzPersistLoad(f *testing.F) {
+	valid := validCheckpointBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-stream
+	f.Add([]byte("PSRF"))       // magic only
+	f.Add([]byte("NOPE"))       // wrong magic
+	f.Add([]byte{})
+	// A header claiming a huge payload block it never delivers: the
+	// chunked reader must fail on the missing bytes, not allocate the
+	// claim up front.
+	inflated := append([]byte{}, valid...)
+	binary.LittleEndian.PutUint32(inflated[len(inflated)-7:], 1<<26)
+	f.Add(inflated[:len(inflated)-3])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Load(bytes.NewReader(data))
+		if err != nil {
+			if c != nil {
+				t.Fatal("Load returned a checkpoint alongside an error")
+			}
+			return
+		}
+		if c.NumSpecies < 1 || c.NumSpecies > maxSpecies {
+			t.Fatalf("accepted species count %d outside [1,%d]", c.NumSpecies, maxSpecies)
+		}
+		if c.Config == nil || c.RNG == nil {
+			t.Fatal("accepted checkpoint with nil Config or RNG")
+		}
+		var out bytes.Buffer
+		if err := Write(&out, c); err != nil {
+			t.Fatalf("re-serializing an accepted checkpoint: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("round trip not byte-identical:\n in  %x\n out %x", data, out.Bytes())
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package persist
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// allocDelta runs f and returns the bytes allocated by it.
+func allocDelta(f func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// A hollow claim: the prefix promises maxPayload bytes, the stream
+// holds five. The chunked reader must fail on the missing data having
+// allocated no more than a chunk, not the 64 MiB claim.
+func TestBlockHollowClaimAllocatesOneChunk(t *testing.T) {
+	var in bytes.Buffer
+	e := NewWriter(&in)
+	e.U32(maxPayload)
+	in.WriteString("short")
+
+	var p []byte
+	var d *Reader
+	delta := allocDelta(func() {
+		d = NewReader(bytes.NewReader(in.Bytes()))
+		p = d.Block(maxPayload)
+	})
+	if p != nil || d.Err() == nil {
+		t.Fatalf("hollow claim accepted: p=%v err=%v", p, d.Err())
+	}
+	if delta > 1<<20 {
+		t.Fatalf("Block allocated %d bytes against a hollow %d-byte claim", delta, maxPayload)
+	}
+}
+
+// The same property for Load's cell block: extents claiming 2^31 sites
+// on a stream that ends after the header must error cheaply.
+func TestLoadHollowCellClaimAllocatesOneChunk(t *testing.T) {
+	var in bytes.Buffer
+	in.WriteString(magic)
+	e := NewWriter(&in)
+	e.U32(version)
+	e.Block(nil)   // engine name
+	e.Block(nil)   // spec hash
+	e.U32(3)       // species
+	e.U32(1 << 16) // l0
+	e.U32(1 << 15) // l1: 2^31 cells claimed
+	e.U64(0)       // steps
+	e.F64(0)       // time
+	for i := 0; i < 4; i++ {
+		e.U64(1) // rng state
+	}
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// No cell bytes follow the header.
+	delta := allocDelta(func() {
+		if _, err := Load(bytes.NewReader(in.Bytes())); err == nil {
+			t.Error("Load accepted a header with no cells behind it")
+		}
+	})
+	if delta > 1<<20 {
+		t.Fatalf("Load allocated %d bytes against a hollow 2^31-cell claim", delta)
+	}
+}
+
+// Block still round-trips data above one chunk correctly.
+func TestBlockMultiChunkRoundTrip(t *testing.T) {
+	payload := make([]byte, blockChunk*3+17)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	var buf bytes.Buffer
+	e := NewWriter(&buf)
+	e.Block(payload)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	d := NewReader(bytes.NewReader(buf.Bytes()))
+	got := d.Block(len(payload))
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("multi-chunk block did not round-trip")
+	}
+}

@@ -155,18 +155,23 @@ func Load(r io.Reader) (*Checkpoint, error) {
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("persist: reading header: %w", err)
 	}
-	lat := lattice.New(int(l0), int(l1))
-	cfg := lattice.NewConfig(lat)
-	buf := make([]byte, lat.N())
-	d.Bytes(buf)
+	// The cell block is read and validated before the lattice and
+	// configuration are allocated: the claimed extents (up to 2^31
+	// sites) are untrusted until the stream actually delivers that many
+	// bytes, so allocation must track data read, not the claim.
+	buf := d.ReadChunked(int(l0) * int(l1))
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("persist: reading cells: %w", err)
 	}
-	cells := cfg.Cells()
 	for i, b := range buf {
 		if uint32(b) >= nspecies {
 			return nil, fmt.Errorf("persist: cell %d holds species %d, model has %d", i, b, nspecies)
 		}
+	}
+	lat := lattice.New(int(l0), int(l1))
+	cfg := lattice.NewConfig(lat)
+	cells := cfg.Cells()
+	for i, b := range buf {
 		cells[i] = lattice.Species(b)
 	}
 	payload := d.Block(maxPayload)

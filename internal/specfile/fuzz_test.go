@@ -1,0 +1,55 @@
+package specfile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseSpec: Parse must never panic on arbitrary bytes, and every
+// spec it accepts must survive the Marshal → Parse round trip with a
+// stable canonical form (the job layer hashes that form for the result
+// cache, so instability would split cache entries).
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		`{
+		  "model":   {"name": "zgb"},
+		  "lattice": {"l0": 40, "l1": 40},
+		  "engine":  {"name": "lpndca", "L": 10, "strategy": "rates", "partition": "vonneumann5"},
+		  "seed":    42,
+		  "init":    {"preset": "empty"}
+		}`,
+		`{"model": {"name": "zgb"}, "engine": {"name": "rsm"}}`,
+		`{"model": {"text": "species * A\nreaction ads 1 (0,0): * -> A"}, "engine": {"name": "vssm"}}`,
+		`{"engine": {"name": "nope"}}`,
+		`{}`,
+		`not json`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseBytes(data)
+		if err != nil {
+			if s != nil {
+				t.Fatal("ParseBytes returned a spec alongside an error")
+			}
+			return
+		}
+		canon, err := s.Marshal()
+		if err != nil {
+			t.Fatalf("accepted spec fails to marshal: %v", err)
+		}
+		s2, err := ParseBytes(canon)
+		if err != nil {
+			t.Fatalf("canonical form fails to re-parse: %v\n%s", err, canon)
+		}
+		canon2, err := s2.Marshal()
+		if err != nil {
+			t.Fatalf("re-parsed spec fails to marshal: %v", err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical form unstable:\n first  %s\n second %s", canon, canon2)
+		}
+	})
+}

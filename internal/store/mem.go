@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -62,7 +63,10 @@ func (m *Mem) GetJob(id string) (*JobRecord, error) {
 
 // Jobs implements Store. Like the filesystem store it skips records
 // that no longer decode, so the listing contract (one bad record never
-// fails the whole listing) is identical across implementations.
+// fails the whole listing) is identical across implementations. The
+// listing is sorted by ID for the same reason: the filesystem store
+// inherits ReadDir's lexical order, and callers must see the same
+// order from either backend.
 func (m *Mem) Jobs() ([]*JobRecord, error) {
 	m.mu.Lock()
 	ids := make([]string, 0, len(m.jobs))
@@ -70,6 +74,7 @@ func (m *Mem) Jobs() ([]*JobRecord, error) {
 		ids = append(ids, id)
 	}
 	m.mu.Unlock()
+	sort.Strings(ids)
 	out := make([]*JobRecord, 0, len(ids))
 	for _, id := range ids {
 		rec, err := m.GetJob(id)
@@ -162,7 +167,8 @@ func (m *Mem) GetCheckpoint(hash, slot string) ([]byte, error) {
 	return append([]byte(nil), data...), nil
 }
 
-// Checkpoints implements Store.
+// Checkpoints implements Store. Slots are sorted to match the lexical
+// order the filesystem store's ReadDir produces.
 func (m *Mem) Checkpoints(hash string) ([]string, error) {
 	if err := checkpointKeys(hash, ""); err != nil {
 		return nil, err
@@ -173,6 +179,7 @@ func (m *Mem) Checkpoints(hash string) ([]string, error) {
 	for slot := range m.checkpoints[hash] {
 		out = append(out, slot)
 	}
+	sort.Strings(out)
 	return out, nil
 }
 

@@ -124,6 +124,57 @@ func TestJobsListsEverything(t *testing.T) {
 	})
 }
 
+// Listings come back in lexical key order from both backends: the
+// filesystem store inherits ReadDir's sorted listing, and the memory
+// store must not leak Go's randomized map iteration order. The
+// assertions deliberately do NOT sort — the order IS the contract.
+// Regression test for a surflint:maporder finding.
+func TestListingsAreSorted(t *testing.T) {
+	openBoth(t, func(t *testing.T, s Store) {
+		insert := []string{"job-09", "job-03", "job-17", "job-01", "job-12", "job-05", "job-14", "job-02"}
+		for _, id := range insert {
+			if err := s.PutJob(&JobRecord{ID: id, State: "queued"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := append([]string(nil), insert...)
+		sort.Strings(want)
+		// Several trials: map iteration order changes run to run, so one
+		// lucky ordering must not mask a regression.
+		for trial := 0; trial < 8; trial++ {
+			recs, err := s.Jobs()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ids []string
+			for _, r := range recs {
+				ids = append(ids, r.ID)
+			}
+			if !reflect.DeepEqual(ids, want) {
+				t.Fatalf("trial %d: Jobs() order %v, want sorted %v", trial, ids, want)
+			}
+		}
+
+		slots := []string{"007", "002", "013", "001", "005", "010", "003", "008"}
+		for _, slot := range slots {
+			if err := s.PutCheckpoint("hash1", slot, []byte{1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wantSlots := append([]string(nil), slots...)
+		sort.Strings(wantSlots)
+		for trial := 0; trial < 8; trial++ {
+			got, err := s.Checkpoints("hash1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, wantSlots) {
+				t.Fatalf("trial %d: Checkpoints() order %v, want sorted %v", trial, got, wantSlots)
+			}
+		}
+	})
+}
+
 func TestInvalidKeysRejected(t *testing.T) {
 	openBoth(t, func(t *testing.T, s Store) {
 		for _, id := range []string{"", "../evil", "a/b", ".hidden"} {

@@ -43,6 +43,8 @@ func (z *WithDesorption) Trial() {
 // as long as some CO can desorb, so Step reports false only with no
 // vacancies AND no desorbable CO (an O-poisoned surface, or any covered
 // surface when PDes is zero).
+//
+//surflint:hotpath
 func (z *WithDesorption) Step() bool {
 	if z.nEmpty == 0 && (z.PDes == 0 || z.nCO == 0) {
 		return false

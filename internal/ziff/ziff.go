@@ -205,6 +205,8 @@ func (z *ZGB) Trial() {
 // poisoned absorbing state (no vacancies: nothing can adsorb, so the
 // classic dynamics cannot evolve further), leaving the state and the
 // random stream untouched, per the Simulator/Engine contract.
+//
+//surflint:hotpath
 func (z *ZGB) Step() bool {
 	if z.nEmpty == 0 {
 		return false
