@@ -30,6 +30,17 @@
 //	curl -sN localhost:8080/jobs/job-1/events
 //	curl -s localhost:8080/jobs/job-1/result?format=csv
 //	curl -s -X POST localhost:8080/jobs/job-1/cancel
+//
+// With -fleet (durable mode only), surfd also coordinates a worker
+// fleet: every job's (variant × replica) space is split into
+// replica-range shards handed to workers under expiring leases via the
+// /fleet/ API, and the returned per-replica rows merge through the same
+// index-ordered accumulator a local run uses — the result is
+// byte-identical to single-node for any fleet size or shard layout.
+// Workers are surfd processes started with -worker:
+//
+//	surfd -addr :8080 -data /var/lib/surfd -fleet -shard-size 8
+//	surfd -worker -coordinator http://head:8080 -runners 4
 package main
 
 import (
@@ -45,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"parsurf/internal/fleet"
 	"parsurf/internal/job"
 	"parsurf/internal/store"
 )
@@ -57,71 +69,138 @@ var buildVersion = "dev"
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
-		runners   = flag.Int("runners", 2, "concurrent jobs (each fans replicas over its own workers)")
+		runners   = flag.Int("runners", 2, "concurrent jobs (each fans replicas over its own workers); in -worker mode, replica goroutines per shard")
 		backlog   = flag.Int("backlog", job.DefaultBacklog, "queued-job capacity")
 		dataDir   = flag.String("data", "", "durable data directory (empty: in-memory only; set it and jobs, results and the result cache survive restarts)")
-		ckptEvery = flag.Duration("checkpoint-interval", 5*time.Second, "how often running replicas snapshot into the data directory for crash-exact resume (durable mode only; 0 disables)")
+		ckptEvery = flag.Duration("checkpoint-interval", 5*time.Second, "how often running replicas snapshot into the data directory for crash-exact resume (0 disables)")
 		version   = flag.String("version", buildVersion, "version stamp echoed by GET /version")
 		withPprof = flag.Bool("pprof", false, "serve Go runtime profiles under /debug/pprof/ (opt-in: profiles expose internals, keep off on untrusted networks)")
+
+		fleetMode = flag.Bool("fleet", false, "coordinate a worker fleet: shard jobs over workers via the /fleet/ API (requires -data)")
+		shardSize = flag.Int("shard-size", fleet.DefaultShardSize, "replicas per fleet shard")
+		leaseTTL  = flag.Duration("lease-ttl", fleet.DefaultLeaseTTL, "fleet shard lease duration (workers heartbeat well inside it)")
+
+		workerMode  = flag.Bool("worker", false, "run as a fleet worker instead of a server")
+		coordinator = flag.String("coordinator", "", "coordinator base URL (worker mode, required)")
+		workerID    = flag.String("worker-id", "", "worker name in leases (default hostname-pid)")
 	)
 	flag.Parse()
-	if err := serve(*addr, *runners, *backlog, *dataDir, *ckptEvery, *version, *withPprof); err != nil {
+	var err error
+	if *workerMode {
+		err = runWorker(*coordinator, *workerID, *runners, *dataDir, *ckptEvery)
+	} else {
+		err = serve(serverConfig{
+			addr: *addr, runners: *runners, backlog: *backlog,
+			dataDir: *dataDir, ckptEvery: *ckptEvery,
+			version: *version, withPprof: *withPprof,
+			fleet: *fleetMode, shardSize: *shardSize, leaseTTL: *leaseTTL,
+		})
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "surfd:", err)
 		os.Exit(1)
 	}
 }
 
-func serve(addr string, runners, backlog int, dataDir string, ckptEvery time.Duration, version string, withPprof bool) error {
-	if runners < 1 {
-		runners = max(1, runtime.NumCPU()/2)
+// serverConfig is the flag bundle of a server-mode surfd.
+type serverConfig struct {
+	addr      string
+	runners   int
+	backlog   int
+	dataDir   string
+	ckptEvery time.Duration
+	version   string
+	withPprof bool
+	fleet     bool
+	shardSize int
+	leaseTTL  time.Duration
+}
+
+func serve(cfg serverConfig) error {
+	if cfg.runners < 1 {
+		cfg.runners = max(1, runtime.NumCPU()/2)
 	}
-	var mgr *job.Manager
-	if dataDir != "" {
-		st, err := store.OpenFS(dataDir)
+	var (
+		mgr   *job.Manager
+		coord *fleet.Coordinator
+	)
+	if cfg.dataDir != "" {
+		st, err := store.OpenFS(cfg.dataDir)
 		if err != nil {
 			return err
 		}
-		mgr, err = job.NewManagerWithStore(runners, backlog, st, job.CheckpointEvery(ckptEvery))
+		opts := []job.ManagerOption{job.CheckpointEvery(cfg.ckptEvery)}
+		if cfg.fleet {
+			coord, err = fleet.New(st, fleet.ShardSize(cfg.shardSize), fleet.LeaseTTL(cfg.leaseTTL))
+			if err != nil {
+				return err
+			}
+			opts = append(opts, job.WithExecutor(coord))
+		}
+		mgr, err = job.NewManagerWithStore(cfg.runners, cfg.backlog, st, opts...)
 		if err != nil {
-			return fmt.Errorf("recovering %s: %w", dataDir, err)
+			return fmt.Errorf("recovering %s: %w", cfg.dataDir, err)
 		}
 	} else {
-		mgr = job.NewManager(runners, backlog)
+		if cfg.fleet {
+			return fmt.Errorf("-fleet needs -data: the shard table is inherently durable")
+		}
+		mgr = job.NewManager(cfg.runners, cfg.backlog)
 	}
 	api := job.NewServer(mgr)
-	api.SetVersion(version)
+	api.SetVersion(cfg.version)
 	var handler http.Handler = api
-	if withPprof {
-		// Mount the profile endpoints beside the job API on an explicit
-		// mux (the job server stays the fallback for everything else) —
-		// never via the global DefaultServeMux, so the endpoints exist
-		// only when asked for.
+	if coord != nil || cfg.withPprof {
+		// Mount the extra endpoints beside the job API on an explicit mux
+		// (the job server stays the fallback for everything else) — never
+		// via the global DefaultServeMux, so the endpoints exist only when
+		// asked for.
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		if coord != nil {
+			mux.Handle("/fleet/", fleet.NewHandler(coord))
+		}
+		if cfg.withPprof {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		handler = mux
 	}
-	srv := &http.Server{Addr: addr, Handler: handler}
+	srv := &http.Server{Addr: cfg.addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
 		durable := "in-memory"
-		if dataDir != "" {
-			durable = "data " + dataDir
+		if cfg.dataDir != "" {
+			durable = "data " + cfg.dataDir
 		}
-		fmt.Fprintf(os.Stderr, "surfd: listening on %s (%d runners, %s)\n", addr, runners, durable)
+		if coord != nil {
+			durable += ", fleet"
+		}
+		fmt.Fprintf(os.Stderr, "surfd: listening on %s (%d runners, %s)\n", cfg.addr, cfg.runners, durable)
 		errc <- srv.ListenAndServe()
 	}()
 
+	shutdown := func() {
+		// Close cancels running jobs (replicas abort within one engine
+		// step) and, in durable mode, leaves their stored records
+		// resumable: every state transition was fsync'd when it happened,
+		// so the next boot re-queues exactly the interrupted jobs — and,
+		// in fleet mode, the persisted shard table lets the re-queued jobs
+		// replay already-delivered shards instead of re-running them.
+		mgr.Close()
+		if coord != nil {
+			coord.Close()
+		}
+	}
 	select {
 	case err := <-errc:
-		mgr.Close()
+		shutdown()
 		return err
 	case <-ctx.Done():
 	}
@@ -129,13 +208,53 @@ func serve(addr string, runners, backlog int, dataDir string, ckptEvery time.Dur
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	err := srv.Shutdown(shutdownCtx)
-	// Close cancels running jobs (replicas abort within one engine
-	// step) and, in durable mode, leaves their stored records
-	// resumable: every state transition was fsync'd when it happened,
-	// so the next boot re-queues exactly the interrupted jobs.
-	mgr.Close()
+	shutdown()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	return nil
+}
+
+// runWorker joins a fleet: lease a shard from the coordinator, run its
+// replica range through the pooled session path, upload the rows,
+// repeat until interrupted. With -data, running replicas snapshot into
+// the local store every -checkpoint-interval and a restarted worker
+// resumes a re-leased shard from its own checkpoints.
+func runWorker(coordinator, id string, workers int, dataDir string, ckptEvery time.Duration) error {
+	if coordinator == "" {
+		return fmt.Errorf("-worker needs -coordinator URL")
+	}
+	if workers < 1 {
+		workers = max(1, runtime.NumCPU()/2)
+	}
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	var st store.Store
+	if dataDir != "" {
+		fs, err := store.OpenFS(dataDir)
+		if err != nil {
+			return err
+		}
+		st = fs
+	}
+	w := &fleet.Worker{
+		ID:              id,
+		Coordinator:     coordinator,
+		Workers:         workers,
+		Store:           st,
+		CheckpointEvery: ckptEvery,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "surfd: "+format+"\n", args...)
+		},
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "surfd: worker %s joining fleet at %s (%d replica goroutines)\n",
+		id, coordinator, workers)
+	return w.Run(ctx)
 }

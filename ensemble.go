@@ -329,6 +329,67 @@ func RunSweep(ctx context.Context, specs []*SessionSpec, replicas, workers int, 
 	return out, nil
 }
 
+// RunReplicaRange runs replicas lo..hi-1 of one sweep variant — the
+// shard primitive of fleet mode. Each replica i draws exactly the
+// stream a full RunEnsemble would hand it (NewRNG(seed).Split(i+1)) and
+// samples on the same TimeGrid, so the rows it produces are
+// bit-identical to the rows the same replica produces inside a
+// single-node run: a coordinator that commits shard rows in
+// replica-index order merges a fleet run to the exact floats of a local
+// one, regardless of how the replica space was sliced.
+//
+// The returned rows are indexed i-lo, each a species × grid-points
+// matrix. Sessions pool through the zero-rebuild Reset path (one build
+// per worker, Reset per subsequent replica), and the
+// Observe/Checkpoint/Resume options apply with the given variant index
+// and absolute replica indices, so mid-shard snapshots interoperate
+// with the single-node checkpoint machinery.
+func RunReplicaRange(ctx context.Context, spec *SessionSpec, variant, lo, hi, workers int, until, every float64, opts ...EnsembleOption) ([][][]float64, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("parsurf: RunReplicaRange needs a spec")
+	}
+	if lo < 0 || hi <= lo {
+		return nil, fmt.Errorf("parsurf: replica range [%d, %d) is empty or negative", lo, hi)
+	}
+	if until <= 0 || every <= 0 {
+		return nil, fmt.Errorf("parsurf: ensemble needs positive until and every, got %v and %v", until, every)
+	}
+	var cfg ensembleConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	grid, err := ensemble.NewTimeGrid(until, every)
+	if err != nil {
+		return nil, fmt.Errorf("parsurf: %w", err)
+	}
+	slots := &slotPool{}
+	// Every row survives on the result, so the pool only amortizes the
+	// error paths; nothing is released back mid-run.
+	bufs := &valuesPool{vars: spec.NumSpecies(), points: grid.Len()}
+	rows := make([][][]float64, hi-lo)
+	err = ensemble.Run(ctx, hi-lo, workers, func(ctx context.Context, k int) error {
+		i := lo + k
+		var (
+			values [][]float64
+			err    error
+		)
+		if sess, k0, prev, ok := resumeFor(&cfg, variant, i); ok {
+			values, err = runReplicaResumed(ctx, spec, variant, i, grid, k0, sess, prev, bufs, &cfg)
+		} else {
+			values, err = runReplicaPooled(ctx, spec, variant, i, grid, slots, bufs, &cfg)
+		}
+		if err != nil {
+			return fmt.Errorf("parsurf: replica %d: %w", i, err)
+		}
+		rows[k] = values
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
 // seriesOnGrid wraps per-species sample rows and their shared grid
 // times as Series values.
 func seriesOnGrid(times []float64, rows [][]float64) []*Series {

@@ -264,6 +264,60 @@ func TestSweepMatchesStandaloneEnsembles(t *testing.T) {
 }
 
 // Validation errors for the sweep entry point.
+// RunReplicaRange is the fleet shard primitive: a slice [lo, hi) of the
+// replica space must reproduce, bit for bit, the rows the same replicas
+// record inside a full single-node ensemble — whatever worker count runs
+// the shard.
+func TestRunReplicaRangeMatchesEnsemble(t *testing.T) {
+	spec := zgbEnsembleSpec(t)
+	const replicas = 6
+	ens, err := parsurf.RunEnsemble(context.Background(), spec, replicas, 2, 1.0, 0.1,
+		parsurf.KeepReplicas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		rows, err := parsurf.RunReplicaRange(context.Background(), spec, 0, 2, 5, workers, 1.0, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("range [2,5) returned %d replicas, want 3", len(rows))
+		}
+		for k, row := range rows {
+			rep := ens.Replicas[2+k]
+			if len(row) != len(rep.Coverage) {
+				t.Fatalf("replica %d: %d species rows, want %d", 2+k, len(row), len(rep.Coverage))
+			}
+			for sp := range row {
+				for p, x := range row[sp] {
+					if x != rep.Coverage[sp].X[p] {
+						t.Fatalf("workers=%d replica %d species %d point %d: shard %v, ensemble %v",
+							workers, 2+k, sp, p, x, rep.Coverage[sp].X[p])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunReplicaRangeValidation(t *testing.T) {
+	spec := zgbEnsembleSpec(t)
+	ctx := context.Background()
+	if _, err := parsurf.RunReplicaRange(ctx, nil, 0, 0, 1, 1, 1.0, 0.1); err == nil {
+		t.Error("nil spec accepted")
+	}
+	if _, err := parsurf.RunReplicaRange(ctx, spec, 0, 3, 3, 1, 1.0, 0.1); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := parsurf.RunReplicaRange(ctx, spec, 0, -1, 2, 1, 1.0, 0.1); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if _, err := parsurf.RunReplicaRange(ctx, spec, 0, 0, 1, 1, 0, 0.1); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
 func TestSweepValidation(t *testing.T) {
 	ctx := context.Background()
 	spec := zgbEnsembleSpec(t)

@@ -92,6 +92,19 @@ func decodeReplicaCheckpoint(data []byte) (variant, replica, nextK int, rows [][
 	return variant, replica, int(k), rows, session, nil
 }
 
+// EncodeReplicaCheckpoint exposes the replica snapshot codec: fleet
+// workers write the same blobs for their mid-shard snapshots, keyed in
+// their own local stores.
+func EncodeReplicaCheckpoint(variant, replica, nextK int, sess *parsurf.Session, values [][]float64) ([]byte, error) {
+	return encodeReplicaCheckpoint(variant, replica, nextK, sess, values)
+}
+
+// DecodeReplicaCheckpoint parses a blob written by
+// EncodeReplicaCheckpoint.
+func DecodeReplicaCheckpoint(data []byte) (variant, replica, nextK int, rows [][]float64, session []byte, err error) {
+	return decodeReplicaCheckpoint(data)
+}
+
 // checkpointer rate-limits and writes replica snapshots for one job
 // run. Each slot's lastSnap entry is touched only by the goroutine
 // driving that replica (the ensemble runner pins a replica to one

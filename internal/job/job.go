@@ -136,6 +136,55 @@ type Status struct {
 	// of running from scratch.
 	Resumed  int64    `json:"resumed,omitempty"`
 	Progress Progress `json:"progress"`
+	// Shards lists the job's fleet shards when the manager runs jobs
+	// through a sharding executor; nil otherwise.
+	Shards []ShardStatus `json:"shards,omitempty"`
+}
+
+// ShardStatus is one fleet shard's public snapshot, surfaced in Status
+// when the manager executes jobs through a ShardLister executor.
+type ShardStatus struct {
+	// ID is the shard id, unique within the job (e.g. "v0-8-16").
+	ID string `json:"id"`
+	// Variant is the sweep variant (spec index).
+	Variant int `json:"variant"`
+	// Lo and Hi bound the half-open replica index range [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// State is the shard lifecycle state (queued/leased/done/
+	// quarantined).
+	State string `json:"state"`
+	// Worker names the worker currently holding the shard's lease.
+	Worker string `json:"worker,omitempty"`
+	// Attempts counts leases that ended in failure or expiry.
+	Attempts int `json:"attempts,omitempty"`
+	// Requeues counts how many times the shard went back on the queue.
+	Requeues int `json:"requeues,omitempty"`
+	// Error is the latest failure text reported for the shard.
+	Error string `json:"error,omitempty"`
+}
+
+// Executor runs a job's workload somewhere other than the local sweep
+// runner — the fleet coordinator implements it to shard the ensemble
+// across worker nodes. Execute runs on the job's runner goroutine,
+// observes ctx for cancellation, and returns the merged result (which
+// must be bit-identical to what the local runner would compute).
+type Executor interface {
+	Execute(ctx context.Context, j *Job) (*store.Result, error)
+}
+
+// ShardLister is an optional Executor refinement: executors that track
+// per-job shards implement it so Status can surface them.
+type ShardLister interface {
+	JobShards(jobID string) []ShardStatus
+}
+
+// JobDropper is an optional Executor refinement: executors that keep
+// per-job state (shard tables, result blobs) implement it to discard
+// that state when a job reaches a terminal state that will never
+// resume (done, failed, or user-cancelled).
+type JobDropper interface {
+	DropJob(jobID string)
 }
 
 // Job is one submitted workload. All methods are safe for concurrent
@@ -225,6 +274,9 @@ func (j *Job) Status() Status {
 		Attempts: j.attempts, Resumed: j.resumed.Load(), Progress: j.progress()}
 	if err != nil {
 		st.Error = err.Error()
+	}
+	if sl, ok := j.mgr.exec.(ShardLister); ok {
+		st.Shards = sl.JobShards(j.id)
 	}
 	return st
 }
@@ -326,6 +378,27 @@ func (j *Job) observe(variant, replica int, t float64, sess *parsurf.Session) {
 	j.merged.Add(1)
 }
 
+// SetReplicaProgress publishes one replica's engine counters from
+// outside the local replica pool — the fleet coordinator calls it with
+// the counters workers report, so distributed jobs feed the same
+// progress slots (and SSE stream) as local ones. Out-of-range slots are
+// ignored rather than trusted.
+func (j *Job) SetReplicaProgress(variant, replica int, steps uint64, t float64) {
+	slot := variant*j.req.Replicas + replica
+	if slot < 0 || slot >= len(j.slotSteps) {
+		return
+	}
+	j.slotSteps[slot].Store(steps)
+	j.slotTime[slot].Store(math.Float64bits(t))
+}
+
+// AddMerged advances the merged grid-point counter by n — the
+// executor-side counterpart of the per-grid-point increment in observe.
+func (j *Job) AddMerged(n int64) { j.merged.Add(n) }
+
+// GridLen returns the job's sample-grid length.
+func (j *Job) GridLen() int { return j.gridLen }
+
 // setState transitions the job, reporting whether the transition took
 // effect (a terminal job never changes again); terminal states close
 // Done and cancel the job context, releasing its registration under
@@ -376,10 +449,14 @@ func (j *Job) persist(s State, err error) {
 // dropCheckpoints discards the job's stored replica checkpoints — a
 // terminal job no longer resumes. Best-effort: leftover checkpoints are
 // only dead weight (a later run with the same hash validates against
-// them and either resumes correctly or starts over).
+// them and either resumes correctly or starts over). An executor that
+// keeps per-job state (the fleet shard table) is told to drop it too.
 func (j *Job) dropCheckpoints() {
 	if st := j.mgr.st; st != nil && j.hash != "" {
 		_ = st.DeleteCheckpoints(j.hash)
+	}
+	if d, ok := j.mgr.exec.(JobDropper); ok {
+		d.DropJob(j.id)
 	}
 }
 
@@ -405,6 +482,31 @@ func (j *Job) run() {
 	if j.setState(StateRunning, nil, nil) {
 		j.mgr.started.Add(1)
 		j.persist(StateRunning, nil)
+	}
+	if ex := j.mgr.exec; ex != nil {
+		// Executor-backed manager: the workload runs elsewhere (fleet
+		// shards on worker nodes); the local checkpointer and resume
+		// provider stay out of the way — workers checkpoint their own
+		// shards. The executor's merged result commits through the same
+		// blob-before-record path as a local run.
+		res, err := ex.Execute(j.ctx, j)
+		if err != nil {
+			j.finishErr(err)
+			return
+		}
+		j.mu.Lock()
+		j.res = res
+		j.mu.Unlock()
+		if j.setState(StateDone, nil, nil) {
+			if st := j.mgr.st; st != nil {
+				if err := st.PutResult(j.hash, res); err != nil {
+					return
+				}
+			}
+			j.persist(StateDone, nil)
+			j.dropCheckpoints()
+		}
+		return
 	}
 	runOpts := []parsurf.EnsembleOption{parsurf.ObserveReplicas(j.observe)}
 	if ck := j.newCheckpointer(); ck != nil {
@@ -566,6 +668,9 @@ func contentHash(specs []json.RawMessage, replicas int, until, every float64) st
 type Manager struct {
 	st store.Store // nil: in-memory only
 
+	// exec, when set, runs every job instead of the local sweep runner.
+	exec Executor
+
 	// ckptEvery is the minimum wall-clock interval between replica
 	// checkpoints; 0 disables checkpointing.
 	ckptEvery time.Duration
@@ -619,6 +724,16 @@ func MaxAttempts(n int) ManagerOption {
 			m.maxAttempts = n
 		}
 	}
+}
+
+// WithExecutor routes every job through ex instead of the local sweep
+// runner — the fleet coordinator plugs in here. The manager still owns
+// the job lifecycle (queueing, persistence, the result cache, recovery);
+// only the replica execution moves. When ex also implements ShardLister
+// its shards appear in job statuses, and when it implements JobDropper
+// it is told to discard per-job state alongside checkpoint cleanup.
+func WithExecutor(ex Executor) ManagerOption {
+	return func(m *Manager) { m.exec = ex }
 }
 
 // NewManager starts an in-memory manager with the given number of

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"parsurf"
@@ -17,7 +18,8 @@ import (
 // http.Handler.
 //
 //	POST   /jobs             submit (see SubmitRequest)
-//	GET    /jobs             list job statuses (submission order)
+//	GET    /jobs             list job statuses (submission order;
+//	                         ?state=, ?limit=, ?after= filter and page)
 //	GET    /jobs/{id}        one job's status
 //	GET    /jobs/{id}/events SSE progress frames until terminal
 //	GET    /jobs/{id}/result series (JSON; ?format=csv&variant=v for CSV)
@@ -157,11 +159,54 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.Status())
 }
 
+// handleList serves the job listing in submission order. Query
+// parameters page and filter it:
+//
+//	?state=running      keep only jobs in that lifecycle state
+//	?after=job-12       start strictly after the given id
+//	?limit=50           cap the page size (must be > 0)
+//
+// Filtering applies before pagination, so ?state=done&after=X&limit=N
+// walks the done jobs N at a time: pass the last id of one page as the
+// next page's "after". An unknown "after" id (or one filtered out)
+// yields an empty page rather than an error — the job may have been
+// submitted against a previous process.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	jobs := s.mgr.Jobs()
-	out := make([]Status, len(jobs))
-	for i, j := range jobs {
-		out[i] = j.Status()
+	q := r.URL.Query()
+	var limit int
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("limit %q is not a positive integer", v))
+			return
+		}
+		limit = n
+	}
+	state := State(q.Get("state"))
+	switch state {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StateQuarantined:
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown state %q", state))
+		return
+	}
+	after := q.Get("after")
+	skipping := after != ""
+	out := []Status{}
+	for _, j := range s.mgr.Jobs() {
+		st := j.Status()
+		if state != "" && st.State != state {
+			continue
+		}
+		if skipping {
+			if st.ID == after {
+				skipping = false
+			}
+			continue
+		}
+		out = append(out, st)
+		if limit > 0 && len(out) == limit {
+			break
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -198,9 +243,24 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// shardFP fingerprints a shard listing: frames whose fingerprint
+// differs from the previous frame's are sent as "event: shard" so fleet
+// clients can watch lease churn without diffing statuses themselves.
+func shardFP(shards []ShardStatus) string {
+	if len(shards) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, sh := range shards {
+		fmt.Fprintf(&b, "%s=%s/%s/%d;", sh.ID, sh.State, sh.Worker, sh.Requeues)
+	}
+	return b.String()
+}
+
 // handleEvents streams SSE progress frames — "event: progress" while
-// the job advances, one final "event: done" carrying the terminal
-// status — so clients follow a job without polling. Between frames the
+// the job advances, "event: shard" when the fleet shard table changed
+// since the previous frame, one final "event: done" carrying the
+// terminal status — so clients follow a job without polling. Between frames the
 // stream carries periodic ": heartbeat" comment lines so idle
 // connections stay alive through proxies, and every write runs under a
 // per-write deadline so a peer that stops reading is disconnected
@@ -230,8 +290,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			rc.SetWriteDeadline(time.Now().Add(s.writeTimeout))
 		}
 	}
+	var lastShards string
 	send := func(event string) bool {
 		frame := EventFrame{Status: j.Status(), ReplicaTimes: j.ReplicaTimes()}
+		if fp := shardFP(frame.Shards); fp != lastShards {
+			lastShards = fp
+			if event == "progress" {
+				event = "shard"
+			}
+		}
 		data, err := json.Marshal(frame)
 		if err != nil {
 			return false

@@ -510,6 +510,130 @@ func TestServerListDeterministicOrder(t *testing.T) {
 	}
 }
 
+// GET /jobs supports ?state= filtering and ?limit=/?after= pagination:
+// filtering applies before paging, pages walk the submission order, and
+// malformed parameters are 400s.
+func TestServerListFilterAndPagination(t *testing.T) {
+	m := NewManager(1, 0)
+	defer m.Close()
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+
+	// The first job runs long enough to pin the single runner while the
+	// rest queue behind it, so cancelling the last job (still queued) and
+	// then the blocker yields a deterministic mixed-state table:
+	// cancelled, done ×4, cancelled. The blocker sits in the ZGB reactive
+	// window (y = 0.5) on a 64² lattice so it cannot poison out early.
+	spec := `{"spec": {"model": null, "lattice": {"l0": %d, "l1": %d},
+		"engine": {"name": "ziff", "y": %g}, "seed": %d}, "until": %g, "every": %g}`
+	var ids []string
+	for i := 0; i < 6; i++ {
+		body := fmt.Sprintf(spec, 16, 16, 0.52, i+1, 2.0, 1.0)
+		if i == 0 {
+			body = fmt.Sprintf(spec, 64, 64, 0.5, 1, 1e6, 5e5)
+		}
+		code, resp := postJSON(t, ts.URL+"/jobs", body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, code, resp)
+		}
+		var st Status
+		if err := json.Unmarshal(resp, &st); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	last, _ := m.Get(ids[5])
+	last.Cancel()
+	blocker, _ := m.Get(ids[0])
+	blocker.Cancel()
+	for _, id := range ids {
+		j, _ := m.Get(id)
+		waitTerminal(t, j, 60*time.Second)
+	}
+	cancelled := []string{ids[0], ids[5]}
+
+	list := func(query string) []Status {
+		t.Helper()
+		code, body := getBody(t, ts.URL+"/jobs"+query)
+		if code != http.StatusOK {
+			t.Fatalf("list%s: %d %s", query, code, body)
+		}
+		var out []Status
+		if err := json.Unmarshal([]byte(body), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	idsOf := func(sts []Status) []string {
+		var out []string
+		for _, st := range sts {
+			out = append(out, st.ID)
+		}
+		return out
+	}
+
+	if got := idsOf(list("?state=cancelled")); !equalStrings(got, cancelled) {
+		t.Fatalf("state=cancelled: %v, want %v", got, cancelled)
+	}
+	if got := idsOf(list("?state=done")); !equalStrings(got, ids[1:5]) {
+		t.Fatalf("state=done: %v, want %v", got, ids[1:5])
+	}
+	if got := list("?state=queued"); len(got) != 0 {
+		t.Fatalf("state=queued: %v, want empty", idsOf(got))
+	}
+	// Page through everything two at a time.
+	var walked []string
+	after := ""
+	for {
+		q := "?limit=2"
+		if after != "" {
+			q += "&after=" + after
+		}
+		page := list(q)
+		if len(page) == 0 {
+			break
+		}
+		if len(page) > 2 {
+			t.Fatalf("page of %d with limit=2", len(page))
+		}
+		walked = append(walked, idsOf(page)...)
+		after = page[len(page)-1].ID
+	}
+	if !equalStrings(walked, ids) {
+		t.Fatalf("paged walk %v, want %v", walked, ids)
+	}
+	// Filter composes with pagination.
+	if got := idsOf(list("?state=done&after=" + ids[1] + "&limit=2")); !equalStrings(got, ids[2:4]) {
+		t.Fatalf("done page after %s: %v, want %v", ids[1], got, ids[2:4])
+	}
+	// An id the filter drops never matches "after": the page is empty.
+	if got := list("?state=done&after=" + ids[0]); len(got) != 0 {
+		t.Fatalf("after filtered-out id: %v, want empty", idsOf(got))
+	}
+	// An unknown "after" yields an empty page, not an error.
+	if got := list("?after=job-999"); len(got) != 0 {
+		t.Fatalf("after unknown id: %v, want empty", idsOf(got))
+	}
+	// Malformed parameters are client errors.
+	for _, q := range []string{"?limit=0", "?limit=-3", "?limit=x", "?state=bogus"} {
+		if code, _ := getBody(t, ts.URL+"/jobs"+q); code != http.StatusBadRequest {
+			t.Fatalf("list%s: %d, want 400", q, code)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Over HTTP, a durable server answers a repeated submission from the
 // result cache: accepted response already done and flagged cached,
 // result identical, and "nocache" forces a fresh run.

@@ -12,7 +12,8 @@ var ErrInjected = errors.New("store: injected fault")
 // Faulty wraps a Store and injects failures into its mutating
 // operations, for crash and torn-write tests. Before each mutation it
 // calls Hook with the 1-based running mutation count and an operation
-// tag ("put-job", "put-result", "put-checkpoint", "delete-checkpoints");
+// tag ("put-job", "put-result", "put-checkpoint", "delete-checkpoints",
+// "put-shard", "put-shard-result", "delete-shards");
 // a non-nil return aborts the operation with that error before the
 // inner store sees it — modelling a crash between the caller's decision
 // to persist and the bytes reaching disk. Reads always pass through.
@@ -115,4 +116,36 @@ func (f *Faulty) DeleteCheckpoints(hash string) error {
 		return err
 	}
 	return f.Inner.DeleteCheckpoints(hash)
+}
+
+// PutShard implements Store.
+func (f *Faulty) PutShard(rec *ShardRecord) error {
+	if err := f.check("put-shard"); err != nil {
+		return err
+	}
+	return f.Inner.PutShard(rec)
+}
+
+// Shards implements Store.
+func (f *Faulty) Shards(jobID string) ([]*ShardRecord, error) { return f.Inner.Shards(jobID) }
+
+// PutShardResult implements Store.
+func (f *Faulty) PutShardResult(jobID, shardID string, data []byte) error {
+	if err := f.check("put-shard-result"); err != nil {
+		return err
+	}
+	return f.Inner.PutShardResult(jobID, shardID, data)
+}
+
+// GetShardResult implements Store.
+func (f *Faulty) GetShardResult(jobID, shardID string) ([]byte, error) {
+	return f.Inner.GetShardResult(jobID, shardID)
+}
+
+// DeleteShards implements Store.
+func (f *Faulty) DeleteShards(jobID string) error {
+	if err := f.check("delete-shards"); err != nil {
+		return err
+	}
+	return f.Inner.DeleteShards(jobID)
 }

@@ -13,25 +13,31 @@ import (
 //	<dir>/jobs/<id>.json              one record per job
 //	<dir>/results/<hash>.json         one blob per content hash
 //	<dir>/checkpoints/<hash>/<slot>   one checkpoint blob per replica slot
+//	<dir>/shards/<job>/<id>.json      one record per fleet shard
+//	<dir>/shardresults/<job>/<id>     one wire blob per delivered shard
 //
 // Every write goes through a temp file in the target directory: write,
 // fsync, rename over the final name, fsync the directory — so a record
 // is either the old version or the new one, never a torn mix, and a
 // rename that was acknowledged survives a crash.
 type FS struct {
-	jobsDir        string
-	resultsDir     string
-	checkpointsDir string
+	jobsDir         string
+	resultsDir      string
+	checkpointsDir  string
+	shardsDir       string
+	shardResultsDir string
 }
 
 // OpenFS opens (creating if needed) a filesystem store rooted at dir.
 func OpenFS(dir string) (*FS, error) {
 	f := &FS{
-		jobsDir:        filepath.Join(dir, "jobs"),
-		resultsDir:     filepath.Join(dir, "results"),
-		checkpointsDir: filepath.Join(dir, "checkpoints"),
+		jobsDir:         filepath.Join(dir, "jobs"),
+		resultsDir:      filepath.Join(dir, "results"),
+		checkpointsDir:  filepath.Join(dir, "checkpoints"),
+		shardsDir:       filepath.Join(dir, "shards"),
+		shardResultsDir: filepath.Join(dir, "shardresults"),
 	}
-	for _, d := range []string{dir, f.jobsDir, f.resultsDir, f.checkpointsDir} {
+	for _, d := range []string{dir, f.jobsDir, f.resultsDir, f.checkpointsDir, f.shardsDir, f.shardResultsDir} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
@@ -205,6 +211,116 @@ func (f *FS) DeleteCheckpoints(hash string) error {
 		return err
 	}
 	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// shardKeys validates the job (and, when non-empty, shard) keys used as
+// path components under the shard directories.
+func shardKeys(jobID, shardID string) error {
+	if err := validKey("shard job", jobID); err != nil {
+		return err
+	}
+	if shardID != "" {
+		return validKey("shard", shardID)
+	}
+	return nil
+}
+
+// PutShard implements Store.
+func (f *FS) PutShard(rec *ShardRecord) error {
+	if err := shardKeys(rec.JobID, rec.ID); err != nil {
+		return err
+	}
+	if rec.ID == "" {
+		return fmt.Errorf("store: empty shard key")
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding shard %s/%s: %w", rec.JobID, rec.ID, err)
+	}
+	dir := filepath.Join(f.shardsDir, rec.JobID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return writeAtomic(filepath.Join(dir, rec.ID+".json"), data)
+}
+
+// Shards implements Store. Like Jobs it skips records that no longer
+// decode, so one torn file cannot take down a coordinator's recovery.
+func (f *FS) Shards(jobID string) ([]*ShardRecord, error) {
+	if err := shardKeys(jobID, ""); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(filepath.Join(f.shardsDir, jobID))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []*ShardRecord
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(f.shardsDir, jobID, name))
+		if err != nil {
+			continue
+		}
+		rec := new(ShardRecord)
+		if err := json.Unmarshal(data, rec); err != nil {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// PutShardResult implements Store.
+func (f *FS) PutShardResult(jobID, shardID string, data []byte) error {
+	if err := shardKeys(jobID, shardID); err != nil {
+		return err
+	}
+	if shardID == "" {
+		return fmt.Errorf("store: empty shard key")
+	}
+	dir := filepath.Join(f.shardResultsDir, jobID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return writeAtomic(filepath.Join(dir, shardID), data)
+}
+
+// GetShardResult implements Store.
+func (f *FS) GetShardResult(jobID, shardID string) ([]byte, error) {
+	if err := shardKeys(jobID, shardID); err != nil {
+		return nil, err
+	}
+	if shardID == "" {
+		return nil, fmt.Errorf("store: empty shard key")
+	}
+	data, err := os.ReadFile(filepath.Join(f.shardResultsDir, jobID, shardID))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: shard result %s/%s: %w", jobID, shardID, ErrNotFound)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return data, nil
+}
+
+// DeleteShards implements Store.
+func (f *FS) DeleteShards(jobID string) error {
+	if err := shardKeys(jobID, ""); err != nil {
+		return err
+	}
+	if err := os.RemoveAll(filepath.Join(f.shardsDir, jobID)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.RemoveAll(filepath.Join(f.shardResultsDir, jobID)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil

@@ -13,18 +13,22 @@ import (
 // semantics (value isolation, byte-stable re-reads) as the durable
 // path, minus the disk.
 type Mem struct {
-	mu          sync.Mutex
-	jobs        map[string][]byte
-	results     map[string][]byte
-	checkpoints map[string]map[string][]byte
+	mu           sync.Mutex
+	jobs         map[string][]byte
+	results      map[string][]byte
+	checkpoints  map[string]map[string][]byte
+	shards       map[string]map[string][]byte
+	shardResults map[string]map[string][]byte
 }
 
 // NewMem returns an empty in-memory store.
 func NewMem() *Mem {
 	return &Mem{
-		jobs:        make(map[string][]byte),
-		results:     make(map[string][]byte),
-		checkpoints: make(map[string]map[string][]byte),
+		jobs:         make(map[string][]byte),
+		results:      make(map[string][]byte),
+		checkpoints:  make(map[string]map[string][]byte),
+		shards:       make(map[string]map[string][]byte),
+		shardResults: make(map[string]map[string][]byte),
 	}
 }
 
@@ -181,6 +185,106 @@ func (m *Mem) Checkpoints(hash string) ([]string, error) {
 	}
 	sort.Strings(out)
 	return out, nil
+}
+
+// PutShard implements Store.
+func (m *Mem) PutShard(rec *ShardRecord) error {
+	if err := shardKeys(rec.JobID, rec.ID); err != nil {
+		return err
+	}
+	if rec.ID == "" {
+		return fmt.Errorf("store: empty shard key")
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding shard %s/%s: %w", rec.JobID, rec.ID, err)
+	}
+	m.mu.Lock()
+	recs := m.shards[rec.JobID]
+	if recs == nil {
+		recs = make(map[string][]byte)
+		m.shards[rec.JobID] = recs
+	}
+	recs[rec.ID] = data
+	m.mu.Unlock()
+	return nil
+}
+
+// Shards implements Store. Records are listed in lexical id order —
+// matching the filesystem store's ReadDir order — and undecodable ones
+// are skipped, exactly like Jobs.
+func (m *Mem) Shards(jobID string) ([]*ShardRecord, error) {
+	if err := shardKeys(jobID, ""); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.shards[jobID]))
+	for id := range m.shards[jobID] {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*ShardRecord, 0, len(ids))
+	for _, id := range ids {
+		rec := new(ShardRecord)
+		if err := json.Unmarshal(m.shards[jobID][id], rec); err != nil {
+			continue
+		}
+		out = append(out, rec)
+	}
+	m.mu.Unlock()
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// PutShardResult implements Store.
+func (m *Mem) PutShardResult(jobID, shardID string, data []byte) error {
+	if err := shardKeys(jobID, shardID); err != nil {
+		return err
+	}
+	if shardID == "" {
+		return fmt.Errorf("store: empty shard key")
+	}
+	cp := append([]byte(nil), data...)
+	m.mu.Lock()
+	blobs := m.shardResults[jobID]
+	if blobs == nil {
+		blobs = make(map[string][]byte)
+		m.shardResults[jobID] = blobs
+	}
+	blobs[shardID] = cp
+	m.mu.Unlock()
+	return nil
+}
+
+// GetShardResult implements Store.
+func (m *Mem) GetShardResult(jobID, shardID string) ([]byte, error) {
+	if err := shardKeys(jobID, shardID); err != nil {
+		return nil, err
+	}
+	if shardID == "" {
+		return nil, fmt.Errorf("store: empty shard key")
+	}
+	m.mu.Lock()
+	data, ok := m.shardResults[jobID][shardID]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("store: shard result %s/%s: %w", jobID, shardID, ErrNotFound)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// DeleteShards implements Store.
+func (m *Mem) DeleteShards(jobID string) error {
+	if err := shardKeys(jobID, ""); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	delete(m.shards, jobID)
+	delete(m.shardResults, jobID)
+	m.mu.Unlock()
+	return nil
 }
 
 // DeleteCheckpoints implements Store.

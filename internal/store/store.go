@@ -51,6 +51,38 @@ type JobRecord struct {
 	Request json.RawMessage `json:"request,omitempty"`
 }
 
+// ShardRecord is the persisted form of one fleet shard: a (variant,
+// replica-range) slice of a job's ensemble with its lease lifecycle.
+// The coordinator writes the record ahead of every state transition —
+// the same write-ahead discipline as job records — so a restarted
+// coordinator rebuilds the shard table exactly: shards recorded done
+// re-commit their stored result blobs instead of re-running, everything
+// else re-queues.
+type ShardRecord struct {
+	// ID is the shard id, unique within its job (e.g. "v0-8-16").
+	ID string `json:"id"`
+	// JobID is the owning job.
+	JobID string `json:"jobId"`
+	// Variant is the sweep variant (spec index) the shard belongs to.
+	Variant int `json:"variant"`
+	// Lo and Hi bound the half-open replica index range [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// State is the shard lifecycle state (queued/leased/done/
+	// quarantined). Leases are transient: a record found "leased" on
+	// recovery re-queues like a "queued" one.
+	State string `json:"state"`
+	// Worker names the worker holding the shard's lease, while leased.
+	Worker string `json:"worker,omitempty"`
+	// Attempts counts leases that ended in failure or expiry; a shard
+	// past the coordinator's MaxAttempts is quarantined as poison.
+	Attempts int `json:"attempts,omitempty"`
+	// Requeues counts how many times the shard went back on the queue.
+	Requeues int `json:"requeues,omitempty"`
+	// Error is the latest failure text reported for the shard.
+	Error string `json:"error,omitempty"`
+}
+
 // Variant is one variant's merged series in a Result — the same shape
 // the HTTP result endpoint serves.
 type Variant struct {
@@ -98,6 +130,22 @@ type Store interface {
 	// DeleteCheckpoints removes every checkpoint stored for the hash.
 	// Deleting a hash with no checkpoints is a no-op.
 	DeleteCheckpoints(hash string) error
+	// PutShard writes (or overwrites) a fleet shard record, keyed
+	// (JobID, ID).
+	PutShard(rec *ShardRecord) error
+	// Shards lists the stored shard records of a job, skipping records
+	// that no longer decode; a job with no shards lists empty without
+	// error. Listings come back in lexical shard-id order from every
+	// implementation.
+	Shards(jobID string) ([]*ShardRecord, error)
+	// PutShardResult writes (or overwrites) the opaque wire-format
+	// result blob of one shard.
+	PutShardResult(jobID, shardID string, data []byte) error
+	// GetShardResult reads one shard result blob.
+	GetShardResult(jobID, shardID string) ([]byte, error)
+	// DeleteShards removes every shard record and shard result blob
+	// stored for the job. Deleting a job with no shards is a no-op.
+	DeleteShards(jobID string) error
 }
 
 // validKey guards record/blob keys used as file names: a key must be

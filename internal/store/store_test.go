@@ -353,6 +353,90 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	})
 }
 
+// Shard records round-trip, overwrite per id, list sorted per job, and
+// delete as a group together with their result blobs.
+func TestShardRoundTrip(t *testing.T) {
+	openBoth(t, func(t *testing.T, s Store) {
+		recs := []*ShardRecord{
+			{ID: "v0-8-16", JobID: "job-1", Variant: 0, Lo: 8, Hi: 16, State: "queued"},
+			{ID: "v0-0-8", JobID: "job-1", Variant: 0, Lo: 0, Hi: 8, State: "queued"},
+			{ID: "v1-0-8", JobID: "job-1", Variant: 1, Lo: 0, Hi: 8, State: "leased", Attempts: 1},
+			{ID: "v0-0-8", JobID: "job-2", Variant: 0, Lo: 0, Hi: 8, State: "queued"},
+		}
+		for _, rec := range recs {
+			if err := s.PutShard(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := s.Shards("job-1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []string
+		for _, r := range got {
+			ids = append(ids, r.ID)
+		}
+		if !reflect.DeepEqual(ids, []string{"v0-0-8", "v0-8-16", "v1-0-8"}) {
+			t.Fatalf("Shards(job-1) order %v, want sorted ids", ids)
+		}
+		if got[2].State != "leased" || got[2].Attempts != 1 {
+			t.Fatalf("record content lost: %+v", got[2])
+		}
+		// Overwrite wins.
+		recs[0].State = "done"
+		if err := s.PutShard(recs[0]); err != nil {
+			t.Fatal(err)
+		}
+		got, _ = s.Shards("job-1")
+		if got[1].State != "done" {
+			t.Fatalf("overwrite lost: %+v", got[1])
+		}
+
+		// Result blobs round-trip bytes exactly and miss as ErrNotFound.
+		if err := s.PutShardResult("job-1", "v0-0-8", []byte{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := s.GetShardResult("job-1", "v0-0-8")
+		if err != nil || !reflect.DeepEqual(blob, []byte{1, 2, 3}) {
+			t.Fatalf("GetShardResult: %v, %v", blob, err)
+		}
+		if _, err := s.GetShardResult("job-1", "v0-8-16"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("missing shard result: %v, want ErrNotFound", err)
+		}
+
+		// Delete removes records and blobs for the job only.
+		if err := s.DeleteShards("job-1"); err != nil {
+			t.Fatal(err)
+		}
+		if got, err = s.Shards("job-1"); err != nil || len(got) != 0 {
+			t.Fatalf("after delete: %v, %v", got, err)
+		}
+		if _, err := s.GetShardResult("job-1", "v0-0-8"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("deleted shard result: %v, want ErrNotFound", err)
+		}
+		if got, err = s.Shards("job-2"); err != nil || len(got) != 1 {
+			t.Fatalf("other job's shards touched: %v, %v", got, err)
+		}
+		// Unknown jobs list empty and delete as a no-op.
+		if got, err = s.Shards("job-404"); err != nil || len(got) != 0 {
+			t.Fatalf("unknown job: %v, %v", got, err)
+		}
+		if err := s.DeleteShards("job-404"); err != nil {
+			t.Fatal(err)
+		}
+		// Key validation mirrors the other families.
+		if err := s.PutShard(&ShardRecord{ID: "../evil", JobID: "job-1"}); err == nil {
+			t.Error("PutShard accepted a traversal id")
+		}
+		if err := s.PutShard(&ShardRecord{ID: "s1", JobID: ""}); err == nil {
+			t.Error("PutShard accepted an empty job id")
+		}
+		if err := s.PutShardResult("job-1", "", nil); err == nil {
+			t.Error("PutShardResult accepted an empty shard id")
+		}
+	})
+}
+
 // The fault wrapper fails exactly the mutation its hook names, leaves
 // reads alone, and counts attempts.
 func TestFaultyInjectsOnNthMutation(t *testing.T) {
