@@ -76,6 +76,13 @@ func main() {
 		version   = flag.String("version", buildVersion, "version stamp echoed by GET /version")
 		withPprof = flag.Bool("pprof", false, "serve Go runtime profiles under /debug/pprof/ (opt-in: profiles expose internals, keep off on untrusted networks)")
 
+		maxJobDuration = flag.Duration("max-job-duration", 0, "wall-clock run budget per job; past it the job ends deadline_exceeded (0: unlimited; a request's max_duration may only tighten it)")
+		maxCells       = flag.Int64("max-cells", 0, "reject submissions whose lattice exceeds this many cells per variant with 400 (0: uncapped)")
+		maxReplicas    = flag.Int("max-replicas", 0, "reject submissions whose total replica count (specs × replicas) exceeds this with 400 (0: uncapped)")
+		maxActiveCost  = flag.Int64("max-active-cost", 0, "aggregate cost budget (lattice cells × concurrent replicas + species × grid points, summed over admitted unfinished jobs); submissions past it shed with 429 (0: unbounded)")
+		shutdownWait   = flag.Duration("shutdown-timeout", 5*time.Second, "bound on the graceful drain after SIGINT/SIGTERM; past it open connections (e.g. stuck SSE peers) are dropped")
+		chaosPanicSeed = flag.Uint64("chaos-panic-seed", 0, "chaos drills only: jobs with a spec seed equal to this panic inside replica 0, exercising panic containment (0: disabled)")
+
 		fleetMode = flag.Bool("fleet", false, "coordinate a worker fleet: shard jobs over workers via the /fleet/ API (requires -data)")
 		shardSize = flag.Int("shard-size", fleet.DefaultShardSize, "replicas per fleet shard")
 		leaseTTL  = flag.Duration("lease-ttl", fleet.DefaultLeaseTTL, "fleet shard lease duration (workers heartbeat well inside it)")
@@ -94,6 +101,9 @@ func main() {
 			dataDir: *dataDir, ckptEvery: *ckptEvery,
 			version: *version, withPprof: *withPprof,
 			fleet: *fleetMode, shardSize: *shardSize, leaseTTL: *leaseTTL,
+			maxJobDuration: *maxJobDuration, maxCells: *maxCells,
+			maxReplicas: *maxReplicas, maxActiveCost: *maxActiveCost,
+			shutdownWait: *shutdownWait, chaosPanicSeed: *chaosPanicSeed,
 		})
 	}
 	if err != nil {
@@ -114,6 +124,35 @@ type serverConfig struct {
 	fleet     bool
 	shardSize int
 	leaseTTL  time.Duration
+
+	maxJobDuration time.Duration
+	maxCells       int64
+	maxReplicas    int
+	maxActiveCost  int64
+	shutdownWait   time.Duration
+	chaosPanicSeed uint64
+}
+
+// managerOptions translates the overload/containment flags into
+// manager options (shared by the durable and in-memory paths).
+func (cfg serverConfig) managerOptions() []job.ManagerOption {
+	opts := []job.ManagerOption{job.CheckpointEvery(cfg.ckptEvery)}
+	if cfg.maxJobDuration > 0 {
+		opts = append(opts, job.MaxJobDuration(cfg.maxJobDuration))
+	}
+	if cfg.maxCells > 0 {
+		opts = append(opts, job.MaxCells(cfg.maxCells))
+	}
+	if cfg.maxReplicas > 0 {
+		opts = append(opts, job.MaxReplicas(cfg.maxReplicas))
+	}
+	if cfg.maxActiveCost > 0 {
+		opts = append(opts, job.MaxActiveCost(cfg.maxActiveCost))
+	}
+	if cfg.chaosPanicSeed != 0 {
+		opts = append(opts, job.ChaosPanicSeed(cfg.chaosPanicSeed))
+	}
+	return opts
 }
 
 func serve(cfg serverConfig) error {
@@ -129,7 +168,7 @@ func serve(cfg serverConfig) error {
 		if err != nil {
 			return err
 		}
-		opts := []job.ManagerOption{job.CheckpointEvery(cfg.ckptEvery)}
+		opts := cfg.managerOptions()
 		if cfg.fleet {
 			coord, err = fleet.New(st, fleet.ShardSize(cfg.shardSize), fleet.LeaseTTL(cfg.leaseTTL))
 			if err != nil {
@@ -145,7 +184,7 @@ func serve(cfg serverConfig) error {
 		if cfg.fleet {
 			return fmt.Errorf("-fleet needs -data: the shard table is inherently durable")
 		}
-		mgr = job.NewManager(cfg.runners, cfg.backlog)
+		mgr = job.NewManager(cfg.runners, cfg.backlog, cfg.managerOptions()...)
 	}
 	api := job.NewServer(mgr)
 	api.SetVersion(cfg.version)
@@ -167,9 +206,26 @@ func serve(cfg serverConfig) error {
 			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		}
-		handler = mux
+		// The fleet and pprof endpoints sit outside the job server's own
+		// recovery middleware; give the composed mux the same panic
+		// containment.
+		handler = job.Recoverer(mux)
 	}
-	srv := &http.Server{Addr: cfg.addr, Handler: handler}
+	srv := &http.Server{
+		Addr:    cfg.addr,
+		Handler: handler,
+		// Transport hardening: a slow-loris client cannot hold a
+		// connection open pre-request (ReadHeaderTimeout), a stalled
+		// request read cannot wedge its handler forever (ReadTimeout —
+		// the SSE endpoint exempts itself per-connection, its writes run
+		// under their own per-write deadline), and idle keep-alives are
+		// reaped (IdleTimeout). WriteTimeout stays zero on purpose: it
+		// would sever long SSE streams and chunked CSV downloads that
+		// are making progress.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -205,9 +261,19 @@ func serve(cfg serverConfig) error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "surfd: shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	wait := cfg.shutdownWait
+	if wait <= 0 {
+		wait = 5 * time.Second
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), wait)
 	defer cancel()
 	err := srv.Shutdown(shutdownCtx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		// The graceful drain ran out its budget — some peer (a stuck
+		// SSE consumer, a half-open connection) never finished. Drop
+		// whatever is left; shutdown must terminate.
+		srv.Close()
+	}
 	shutdown()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -251,5 +252,60 @@ func TestAccumulatorReleaseFiresOnCommit(t *testing.T) {
 	mean, _ := acc.MeanStd()
 	if len(mean) != vars || len(mean[0]) != points {
 		t.Fatalf("MeanStd shape %dx%d after releases", len(mean), len(mean[0]))
+	}
+}
+
+// A panicking job is contained: Run returns a *PanicError carrying the
+// panic value and a stack trace, siblings are cancelled (not crashed),
+// and the test process — standing in for surfd — survives.
+func TestRunPanicContained(t *testing.T) {
+	const jobs, panicking = 8, 2
+	var cancelled atomic.Int32
+	err := Run(context.Background(), jobs, 4, func(ctx context.Context, i int) error {
+		if i == panicking {
+			panic("engine bug")
+		}
+		select {
+		case <-ctx.Done():
+			cancelled.Add(1)
+			return ctx.Err()
+		case <-time.After(30 * time.Second):
+			return fmt.Errorf("job %d: sibling cancellation never arrived", i)
+		}
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run returned %v (%T), want *PanicError", err, err)
+	}
+	if pe.Job != panicking {
+		t.Errorf("PanicError.Job = %d, want %d", pe.Job, panicking)
+	}
+	if pe.Value != "engine bug" {
+		t.Errorf("PanicError.Value = %v, want \"engine bug\"", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "ensemble_test.go") {
+		t.Errorf("PanicError.Stack does not point at the panic site:\n%s", pe.Stack)
+	}
+	if !strings.Contains(err.Error(), "engine bug") {
+		t.Errorf("error text %q does not carry the panic value", err.Error())
+	}
+	if cancelled.Load() == 0 {
+		t.Fatal("no sibling observed the cancellation")
+	}
+}
+
+// A panic carrying a nil-ish error value must still convert: recover()
+// returning a typed nil or plain error is containment's worst case.
+func TestRunPanicErrorValue(t *testing.T) {
+	cause := errors.New("wrapped cause")
+	err := Run(context.Background(), 1, 1, func(ctx context.Context, i int) error {
+		panic(cause)
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run returned %v (%T), want *PanicError", err, err)
+	}
+	if pe.Value != cause {
+		t.Errorf("PanicError.Value = %v, want the panicked error", pe.Value)
 	}
 }

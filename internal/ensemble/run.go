@@ -3,9 +3,40 @@ package ensemble
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a panic recovered from one job's goroutine, converted
+// into a first-class error so it flows through the normal first-error
+// cancellation instead of crashing the process. Value is the recovered
+// panic value; Stack is the goroutine stack captured at recovery time,
+// so the failure stays diagnosable after the goroutine is gone. Match
+// with errors.As.
+type PanicError struct {
+	Job   int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("ensemble: job %d panicked: %v\n%s", e.Job, e.Value, e.Stack)
+}
+
+// runSafe invokes run(ctx, i), converting a panic into a *PanicError.
+// The conversion is deliberate containment, not suppression: the panic
+// becomes the job's error, cancels the siblings, and surfaces from Run
+// with its full stack — while the worker pool and the process live on.
+func runSafe(ctx context.Context, i int, run func(ctx context.Context, job int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Job: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return run(ctx, i)
+}
 
 // Run executes jobs 0..jobs-1 over a pool of `workers` goroutines and
 // returns the root-cause error of the first failure, cancelling every
@@ -25,6 +56,11 @@ import (
 // A nil return means every job ran and returned nil. Cancellation of
 // the caller's ctx surfaces as ctx.Err() unless a real job failure is
 // the better explanation.
+//
+// A panic inside run is contained: the worker recovers it into a
+// *PanicError carrying the stack, which cancels the siblings and is
+// returned like any other failure — one buggy job never takes down the
+// pool or the process.
 func Run(ctx context.Context, jobs, workers int, run func(ctx context.Context, job int) error) error {
 	if jobs <= 0 {
 		return nil
@@ -51,7 +87,7 @@ func Run(ctx context.Context, jobs, workers int, run func(ctx context.Context, j
 					errs[i] = err // drained after the abort, never ran
 					continue
 				}
-				if err := run(runCtx, i); err != nil {
+				if err := runSafe(runCtx, i, run); err != nil {
 					errs[i] = err
 					cancel() // first failure aborts the siblings
 				} else {

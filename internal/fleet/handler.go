@@ -12,6 +12,30 @@ import (
 // smaller).
 const maxResultBody = 1 << 30
 
+// maxControlBody bounds the small JSON control bodies (lease,
+// heartbeat, fail). A heartbeat's replica-progress list is tens of
+// bytes per replica, so 1 MiB covers shards four orders of magnitude
+// larger than the default while refusing to buffer junk.
+const maxControlBody = 1 << 20
+
+// decodeControl decodes a bounded JSON control body into v, writing
+// the error response (413 for an oversized body, 400 otherwise) and
+// reporting false when the request cannot proceed.
+func decodeControl(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxControlBody)).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		jsonError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+		return false
+	}
+	jsonError(w, http.StatusBadRequest, err)
+	return false
+}
+
 // Handler is the coordinator's HTTP face, mounted under /fleet/ beside
 // the job API:
 //
@@ -84,8 +108,7 @@ type statusResponse struct {
 
 func (h *Handler) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req leaseRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		jsonError(w, http.StatusBadRequest, err)
+	if !decodeControl(w, r, &req) {
 		return
 	}
 	if req.Worker == "" {
@@ -127,8 +150,7 @@ func (h *Handler) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req heartbeatRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		jsonError(w, http.StatusBadRequest, err)
+	if !decodeControl(w, r, &req) {
 		return
 	}
 	if err := h.c.Heartbeat(jobID, shardID, req.Worker, req.Replicas); err != nil {
@@ -161,8 +183,7 @@ func (h *Handler) handleFail(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req failRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		jsonError(w, http.StatusBadRequest, err)
+	if !decodeControl(w, r, &req) {
 		return
 	}
 	if err := h.c.Fail(jobID, shardID, req.Worker, req.Error); err != nil {

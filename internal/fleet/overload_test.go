@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"parsurf"
+	"parsurf/internal/job"
+	"parsurf/internal/store"
+)
+
+// Oversized control bodies (lease, heartbeat, fail) are refused with
+// 413 instead of being buffered.
+func TestControlBodyTooLarge(t *testing.T) {
+	coord, err := New(store.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	srv := httptest.NewServer(NewHandler(coord))
+	defer srv.Close()
+
+	big := `{"worker": "` + strings.Repeat("x", maxControlBody+1) + `"}`
+	for _, path := range []string{
+		"/fleet/lease",
+		"/fleet/shards/job-1.v0-0-2/heartbeat",
+		"/fleet/shards/job-1.v0-0-2/fail",
+	} {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: status %d, want 413", path, resp.StatusCode)
+		}
+		if !strings.Contains(out["error"], "exceeds") {
+			t.Errorf("%s: error %q does not explain the limit", path, out["error"])
+		}
+	}
+}
+
+// A worker without an explicit client gets one with a timeout, never
+// the deadline-free http.DefaultClient.
+func TestWorkerDefaultClientHasTimeout(t *testing.T) {
+	w := &Worker{}
+	c := w.client()
+	if c == http.DefaultClient {
+		t.Fatal("worker defaults to http.DefaultClient")
+	}
+	if c.Timeout <= 0 {
+		t.Fatalf("default client timeout %v, want > 0", c.Timeout)
+	}
+	// An explicit client still wins.
+	own := &http.Client{}
+	if (&Worker{Client: own}).client() != own {
+		t.Fatal("explicit client ignored")
+	}
+}
+
+// Killing the coordinator process mid-sweep and restarting it on the
+// same address must not lose the job or corrupt the result: workers
+// ride out the outage on their retry loops, recovery replays done
+// shards, and the merged result is byte-identical to a single-node
+// run. Also a goroutine-leak check: everything started here winds
+// down.
+func TestCoordinatorKillRestartMidSweep(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	req := func() job.Request {
+		return job.Request{
+			Specs:    []*parsurf.SessionSpec{ziffSpec(t, 0.51, 42), ziffSpec(t, 0.53, 42)},
+			Replicas: 8,
+			Workers:  2,
+			Until:    10,
+			Every:    1,
+		}
+	}
+	want := controlJSON(t, req())
+
+	st := store.NewMem()
+	coordA, err := New(st, ShardSize(1), LeaseTTL(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mA := fleetManager(t, st, coordA, 1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srvA := &http.Server{Handler: NewHandler(coordA)}
+	go srvA.Serve(ln)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workerDone := make(chan struct{}, 2)
+	for _, id := range []string{"w1", "w2"} {
+		w := &Worker{ID: id, Coordinator: "http://" + addr, Workers: 2,
+			Poll: 5 * time.Millisecond}
+		go func() {
+			if err := w.Run(ctx); err != nil {
+				t.Errorf("worker %s: %v", w.ID, err)
+			}
+			workerDone <- struct{}{}
+		}()
+	}
+
+	j, err := mA.Submit(req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobID := j.ID()
+	// Let the fleet finish some — but with 16 one-replica shards, not
+	// all — of the sweep, then kill the node mid-flight.
+	deadline := time.Now().Add(60 * time.Second)
+	for coordA.Counters().ShardsDone < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no shards completed (counters %+v)", coordA.Counters())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Logf("killing node with job %s (%d shards done)",
+		j.Status().State, coordA.Counters().ShardsDone)
+	srvA.Close()
+	mA.Close()
+	coordA.Close()
+
+	// Restart on the same address: recovery re-queues the job, workers
+	// reconnect through their backoff loops, and the sweep completes.
+	coordB, err := New(st, ShardSize(1), LeaseTTL(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mB := fleetManager(t, st, coordB, 1)
+	var ln2 net.Listener
+	for deadline := time.Now().Add(10 * time.Second); ; time.Sleep(10 * time.Millisecond) {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+	}
+	srvB := &http.Server{Handler: NewHandler(coordB)}
+	go srvB.Serve(ln2)
+
+	j2, ok := mB.Get(jobID)
+	if !ok {
+		t.Fatalf("job %s not recovered", jobID)
+	}
+	if fin := waitTerminal(t, j2, 120*time.Second); fin.State != job.StateDone {
+		t.Fatalf("recovered job: %s (%s)", fin.State, fin.Error)
+	}
+	res, err := j2.ResultData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Fatal("result after kill/restart differs from the single-node run")
+	}
+
+	// Wind everything down and verify nothing leaked.
+	cancel()
+	<-workerDone
+	<-workerDone
+	srvB.Close()
+	mB.Close()
+	coordB.Close()
+	for deadline := time.Now().Add(15 * time.Second); ; time.Sleep(50 * time.Millisecond) {
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d, baseline %d: leak after kill/restart", n, baseline)
+		}
+	}
+}

@@ -13,9 +13,17 @@ import (
 	"time"
 
 	"parsurf"
+	"parsurf/internal/backoff"
 	"parsurf/internal/job"
 	"parsurf/internal/store"
 )
+
+// defaultClient is the worker's fallback HTTP client. Unlike
+// http.DefaultClient it carries a timeout, so a wedged coordinator (or
+// a black-holed connection) surfaces as a retryable error instead of
+// parking the lease loop forever. Generous on purpose: the slowest
+// call is a shard-result upload, which may move real data.
+var defaultClient = &http.Client{Timeout: 2 * time.Minute}
 
 // Worker is a fleet worker node: a lease → run → upload loop against a
 // coordinator. Each leased shard runs through the same pooled
@@ -39,7 +47,8 @@ type Worker struct {
 	Store store.Store
 	// CheckpointEvery rate-limits mid-shard snapshots (0 disables).
 	CheckpointEvery time.Duration
-	// Client is the HTTP client (default http.DefaultClient).
+	// Client is the HTTP client (default: a shared client with a
+	// 2-minute timeout — never the timeout-less http.DefaultClient).
 	Client *http.Client
 	// Logf, when set, receives worker progress lines.
 	Logf func(format string, args ...any)
@@ -55,7 +64,7 @@ func (w *Worker) client() *http.Client {
 	if w.Client != nil {
 		return w.Client
 	}
-	return http.DefaultClient
+	return defaultClient
 }
 
 func (w *Worker) poll() time.Duration {
@@ -65,9 +74,19 @@ func (w *Worker) poll() time.Duration {
 	return 500 * time.Millisecond
 }
 
+// retryPolicy is the worker's shared jittered-backoff schedule,
+// growing from its poll interval to max: decorrelated, so a fleet
+// retrying against one restarting coordinator trickles back instead of
+// arriving as a synchronized thundering herd.
+func (w *Worker) retryPolicy(max time.Duration) backoff.Policy {
+	return backoff.Policy{Base: w.poll(), Max: max, Jitter: true}
+}
+
 // Run leases and executes shards until ctx is cancelled. Errors inside
 // a shard are reported to the coordinator and the loop continues; only
-// cancellation ends it.
+// cancellation ends it. An unreachable coordinator degrades the loop
+// to jittered exponential-backoff polling (reset by the next
+// successful lease call), so workers ride out coordinator restarts.
 func (w *Worker) Run(ctx context.Context) error {
 	if w.ID == "" || w.Coordinator == "" {
 		return fmt.Errorf("fleet: worker needs an ID and a coordinator URL")
@@ -75,23 +94,32 @@ func (w *Worker) Run(ctx context.Context) error {
 	if w.Workers < 1 {
 		w.Workers = 1
 	}
+	retry := w.retryPolicy(30 * time.Second)
+	fails := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil
 		}
 		grant, ok, err := w.lease(ctx)
-		if err != nil || !ok {
-			if err != nil {
-				w.logf("worker %s: lease: %v", w.ID, err)
+		switch {
+		case err != nil:
+			w.logf("worker %s: lease: %v", w.ID, err)
+			if !retry.Sleep(fails, ctx.Done()) {
+				return nil
 			}
+			fails++
+		case !ok:
+			// Reached but idle: steady polling, no backoff.
+			fails = 0
 			select {
 			case <-ctx.Done():
 				return nil
 			case <-time.After(w.poll()):
 			}
-			continue
+		default:
+			fails = 0
+			w.runShard(ctx, grant)
 		}
-		w.runShard(ctx, grant)
 	}
 }
 
@@ -275,10 +303,23 @@ func (w *Worker) heartbeats(ctx context.Context, cancel context.CancelFunc, gran
 				Time:    math.Float64frombits(times[k].Load()),
 			}
 		}
-		code, err := w.post(ctx, "/fleet/shards/"+grant.Shard+"/heartbeat", hb)
+		// A transient send failure gets a couple of quick jittered
+		// retries inside this tick — a blip should not cost a whole
+		// renewal interval of lease budget. Still unreachable after
+		// that: keep running — the lease may expire, in which case a
+		// later heartbeat gets the 410.
+		hbRetry := w.retryPolicy(interval / 2)
+		var code int
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			if code, err = w.post(ctx, "/fleet/shards/"+grant.Shard+"/heartbeat", hb); err == nil {
+				break
+			}
+			if !hbRetry.Sleep(attempt, ctx.Done()) {
+				return
+			}
+		}
 		if err != nil {
-			// Coordinator unreachable: keep running — the lease may
-			// expire, in which case a later heartbeat gets the 410.
 			continue
 		}
 		if code == http.StatusGone {
@@ -290,10 +331,11 @@ func (w *Worker) heartbeats(ctx context.Context, cancel context.CancelFunc, gran
 }
 
 // upload posts the shard payload, retrying transient failures a few
-// times. True means the coordinator accepted (or already had) the
-// result.
+// times under the shared jittered backoff. True means the coordinator
+// accepted (or already had) the result.
 func (w *Worker) upload(ctx context.Context, grant *Grant, data []byte) bool {
 	url := w.Coordinator + "/fleet/shards/" + grant.Shard + "/result?worker=" + w.ID
+	retry := w.retryPolicy(5 * time.Second)
 	for attempt := 0; attempt < 3; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
 		if err != nil {
@@ -302,10 +344,8 @@ func (w *Worker) upload(ctx context.Context, grant *Grant, data []byte) bool {
 		req.Header.Set("Content-Type", "application/octet-stream")
 		resp, err := w.client().Do(req)
 		if err != nil {
-			select {
-			case <-ctx.Done():
+			if !retry.Sleep(attempt, ctx.Done()) {
 				return false
-			case <-time.After(w.poll()):
 			}
 			continue
 		}

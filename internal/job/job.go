@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"parsurf"
+	"parsurf/internal/backoff"
 	"parsurf/internal/store"
 )
 
@@ -69,12 +70,29 @@ const (
 	// Quarantined jobs never re-queue; they keep their record (and
 	// error) for inspection.
 	StateQuarantined State = "quarantined"
+	// StateDeadlineExceeded marks a job stopped because it ran past its
+	// duration budget (Request.MaxDuration or the manager's default).
+	// Distinct from failed — the workload was fine, just too slow for
+	// the budget it was given — and terminal: a crash-recovered record
+	// in this state never re-queues.
+	StateDeadlineExceeded State = "deadline_exceeded"
 )
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateQuarantined
+	switch s {
+	case StateDone, StateFailed, StateCancelled, StateQuarantined, StateDeadlineExceeded:
+		return true
+	}
+	return false
 }
+
+// ErrOverloaded marks a submission shed for transient capacity reasons
+// — a full backlog or an aggregate-cost budget already committed to
+// running jobs. Unlike a validation error, retrying the identical
+// request later can succeed; the HTTP layer maps it to 429 with a
+// Retry-After. Match with errors.Is.
+var ErrOverloaded = errors.New("job: overloaded")
 
 // Request describes one job: which specs to run and how to sample
 // them. One spec is a single session or ensemble; several specs form a
@@ -96,6 +114,14 @@ type Request struct {
 	// fresh result still persists when it completes (overwriting an
 	// equal blob — results are deterministic).
 	NoCache bool
+	// MaxDuration bounds the job's wall-clock run time; past it the
+	// job lands in StateDeadlineExceeded. Zero means no request-level
+	// budget; a manager-level MaxJobDuration still applies and also
+	// caps any request value. The budget is absolute once the job first
+	// starts: a crash-recovered job gets only its remaining time, not a
+	// fresh allowance. Excluded from the content hash — a completed
+	// result is the same whatever budget it ran under.
+	MaxDuration time.Duration
 }
 
 // Progress is a point-in-time snapshot of a running job's advancement,
@@ -134,7 +160,10 @@ type Status struct {
 	Attempts int `json:"attempts,omitempty"`
 	// Resumed counts replicas restored from a stored checkpoint instead
 	// of running from scratch.
-	Resumed  int64    `json:"resumed,omitempty"`
+	Resumed int64 `json:"resumed,omitempty"`
+	// Deadline is the job's absolute run deadline in Unix nanoseconds,
+	// set once the job starts under a duration budget; 0 otherwise.
+	Deadline int64    `json:"deadline,omitempty"`
 	Progress Progress `json:"progress"`
 	// Shards lists the job's fleet shards when the manager runs jobs
 	// through a sharding executor; nil otherwise.
@@ -208,6 +237,17 @@ type Job struct {
 	// resumed counts replicas restored from a stored checkpoint.
 	resumed atomic.Int64
 
+	// deadlineNS is the absolute run deadline (Unix nanoseconds; 0 =
+	// none), set once when the job first starts and persisted, so a
+	// crash-recovered job honors its remaining budget. Atomic because
+	// the runner writes it while Cancel may concurrently persist.
+	deadlineNS atomic.Int64
+	// cost is the job's admission-control cost estimate (see
+	// estimateCost); costCharged guards exactly-once release of the
+	// manager's aggregate budget when the job goes terminal.
+	cost        int64
+	costCharged atomic.Bool
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -271,7 +311,8 @@ func (j *Job) Status() Status {
 	state, err := j.state, j.err
 	j.mu.Unlock()
 	st := Status{ID: j.id, State: state, Hash: j.hash, Cached: j.cached,
-		Attempts: j.attempts, Resumed: j.resumed.Load(), Progress: j.progress()}
+		Attempts: j.attempts, Resumed: j.resumed.Load(),
+		Deadline: j.deadlineNS.Load(), Progress: j.progress()}
 	if err != nil {
 		st.Error = err.Error()
 	}
@@ -416,8 +457,20 @@ func (j *Job) setState(s State, err error, result []*parsurf.Ensemble) bool {
 	if s.Terminal() {
 		close(j.done)
 		j.cancel()
+		// Give the admission budget back exactly once. Atomic on
+		// purpose: Submit calls setState while holding the manager
+		// lock, so touching m.mu here would deadlock.
+		j.releaseCost()
 	}
 	return true
+}
+
+// releaseCost returns the job's admission-cost charge to the manager's
+// aggregate budget, exactly once. Safe to call on never-charged jobs.
+func (j *Job) releaseCost() {
+	if j.costCharged.CompareAndSwap(true, false) {
+		j.mgr.activeCost.Add(-j.cost)
+	}
 }
 
 // persist writes the job's record with the given state. Mid-flight
@@ -438,6 +491,7 @@ func (j *Job) persist(s State, err error) {
 		Cached:    j.cached,
 		Attempts:  j.attempts,
 		Submitted: j.submitted.UnixNano(),
+		Deadline:  j.deadlineNS.Load(),
 		Request:   j.rawReq,
 	}
 	if err != nil {
@@ -481,7 +535,23 @@ func (j *Job) run() {
 	}
 	if j.setState(StateRunning, nil, nil) {
 		j.mgr.started.Add(1)
+		// Arm the deadline before the running record persists, so the
+		// stored record always carries the absolute budget a recovery
+		// must honor.
+		j.armDeadline()
 		j.persist(StateRunning, nil)
+	}
+	// The deadline lives on the run context, not the job context:
+	// RunSweep's first-error machinery then reports DeadlineExceeded as
+	// the root cause, which finishErr classifies as the distinct
+	// deadline_exceeded terminal state. A deadline already in the past
+	// (a recovered job that spent its whole budget before the crash)
+	// fails immediately.
+	runCtx := j.ctx
+	if dl := j.deadlineNS.Load(); dl != 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithDeadline(j.ctx, time.Unix(0, dl))
+		defer cancel()
 	}
 	if ex := j.mgr.exec; ex != nil {
 		// Executor-backed manager: the workload runs elsewhere (fleet
@@ -489,7 +559,7 @@ func (j *Job) run() {
 		// provider stay out of the way — workers checkpoint their own
 		// shards. The executor's merged result commits through the same
 		// blob-before-record path as a local run.
-		res, err := ex.Execute(j.ctx, j)
+		res, err := ex.Execute(runCtx, j)
 		if err != nil {
 			j.finishErr(err)
 			return
@@ -509,13 +579,16 @@ func (j *Job) run() {
 		return
 	}
 	runOpts := []parsurf.EnsembleOption{parsurf.ObserveReplicas(j.observe)}
+	if obs := j.mgr.chaosObserver(j); obs != nil {
+		runOpts = append(runOpts, parsurf.ObserveReplicas(obs))
+	}
 	if ck := j.newCheckpointer(); ck != nil {
 		runOpts = append(runOpts, parsurf.CheckpointReplicas(ck.hook))
 	}
 	if rp := j.resumeProvider(); rp != nil {
 		runOpts = append(runOpts, parsurf.ResumeReplicas(rp))
 	}
-	ens, err := parsurf.RunSweep(j.ctx, j.req.Specs, j.req.Replicas, j.req.Workers,
+	ens, err := parsurf.RunSweep(runCtx, j.req.Specs, j.req.Replicas, j.req.Workers,
 		j.req.Until, j.req.Every, runOpts...)
 	if err != nil {
 		j.finishErr(err)
@@ -540,12 +613,47 @@ func (j *Job) run() {
 	}
 }
 
-// finishErr classifies a terminal error: a cancellation requested via
-// Cancel is StateCancelled and persists as such; a cancellation
-// induced by manager shutdown also lands in StateCancelled in memory,
-// but persists as queued so the next boot resumes the job; anything
-// else is a failure.
+// armDeadline fixes the job's absolute run deadline when it first
+// starts: the request's MaxDuration, tightened by the manager-level
+// cap when one is set (the cap alone when the request carries none). A
+// recovered job that already holds a stored deadline keeps it — the
+// budget is absolute, so only the remaining time is honored.
+func (j *Job) armDeadline() {
+	if j.deadlineNS.Load() != 0 {
+		return
+	}
+	d := j.req.MaxDuration
+	if lim := j.mgr.maxJobDuration; lim > 0 && (d <= 0 || d > lim) {
+		d = lim
+	}
+	if d <= 0 {
+		return
+	}
+	j.deadlineNS.Store(time.Now().Add(d).UnixNano())
+}
+
+// finishErr classifies a terminal error: running past the job's
+// duration budget is the distinct deadline_exceeded state (terminal —
+// never re-queued); a cancellation requested via Cancel is
+// StateCancelled and persists as such; a cancellation induced by
+// manager shutdown also lands in StateCancelled in memory, but
+// persists as queued so the next boot resumes the job; anything else
+// is a failure. A panic recovered from a replica arrives here as an
+// ordinary failure error whose text carries the goroutine stack, so
+// the stored record stays diagnosable — and, being failed, is terminal
+// rather than crash-loop re-queued.
 func (j *Job) finishErr(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		// The run context is the only deadline-carrying context in the
+		// chain (the manager context is cancel-only), so this is the
+		// job's own budget expiring.
+		err = fmt.Errorf("job: exceeded its run deadline: %w", err)
+		if j.setState(StateDeadlineExceeded, err, nil) {
+			j.persist(StateDeadlineExceeded, err)
+			j.dropCheckpoints()
+		}
+		return
+	}
 	if errors.Is(err, context.Canceled) {
 		if j.setState(StateCancelled, err, nil) {
 			if j.userCancel.Load() {
@@ -588,13 +696,16 @@ func resultData(specs []*parsurf.SessionSpec, ens []*parsurf.Ensemble) *store.Re
 
 // storedRequest is the persisted form of a Request: specs as their
 // canonical JSON documents plus the run shape. NoCache is transient
-// and deliberately not stored.
+// and deliberately not stored. MaxDuration (nanoseconds) rides along
+// so a recovered job still knows its budget, but — like Workers — it
+// is excluded from the content hash: the result does not depend on it.
 type storedRequest struct {
-	Specs    []json.RawMessage `json:"specs"`
-	Replicas int               `json:"replicas"`
-	Workers  int               `json:"workers"`
-	Until    float64           `json:"until"`
-	Every    float64           `json:"every"`
+	Specs       []json.RawMessage `json:"specs"`
+	Replicas    int               `json:"replicas"`
+	Workers     int               `json:"workers"`
+	Until       float64           `json:"until"`
+	Every       float64           `json:"every"`
+	MaxDuration int64             `json:"maxDuration,omitempty"`
 }
 
 // encodeRequest renders a normalized request in its stored form and
@@ -611,11 +722,12 @@ func encodeRequest(req Request) (json.RawMessage, string, error) {
 		specs[i] = b
 	}
 	raw, err := json.Marshal(storedRequest{
-		Specs:    specs,
-		Replicas: req.Replicas,
-		Workers:  req.Workers,
-		Until:    req.Until,
-		Every:    req.Every,
+		Specs:       specs,
+		Replicas:    req.Replicas,
+		Workers:     req.Workers,
+		Until:       req.Until,
+		Every:       req.Every,
+		MaxDuration: int64(req.MaxDuration),
 	})
 	if err != nil {
 		return nil, "", fmt.Errorf("job: encoding request: %w", err)
@@ -630,11 +742,12 @@ func decodeRequest(raw json.RawMessage) (Request, error) {
 		return Request{}, fmt.Errorf("job: decoding stored request: %w", err)
 	}
 	req := Request{
-		Replicas: sr.Replicas,
-		Workers:  sr.Workers,
-		Until:    sr.Until,
-		Every:    sr.Every,
-		Specs:    make([]*parsurf.SessionSpec, len(sr.Specs)),
+		Replicas:    sr.Replicas,
+		Workers:     sr.Workers,
+		Until:       sr.Until,
+		Every:       sr.Every,
+		MaxDuration: time.Duration(sr.MaxDuration),
+		Specs:       make([]*parsurf.SessionSpec, len(sr.Specs)),
 	}
 	for i, b := range sr.Specs {
 		sp, err := parsurf.ParseSpec(b)
@@ -676,6 +789,27 @@ type Manager struct {
 	ckptEvery time.Duration
 	// maxAttempts bounds crash-interrupted runs before quarantine.
 	maxAttempts int
+
+	// maxJobDuration caps every job's wall-clock run time (0: none); a
+	// request's own MaxDuration may only tighten it.
+	maxJobDuration time.Duration
+	// maxCells and maxReplicas are the per-job admission caps (0:
+	// uncapped): lattice cells per variant, total replicas per job.
+	// Breaching one is a permanent validation error, never overload.
+	maxCells    int64
+	maxReplicas int
+	// maxActiveCost bounds the summed cost estimate of every admitted,
+	// not-yet-terminal job (0: unbounded); activeCost is the running
+	// committed total. Atomic because terminal transitions release it
+	// from setState, which must not take m.mu (Submit holds it while
+	// calling setState).
+	maxActiveCost int64
+	activeCost    atomic.Int64
+
+	// chaosPanicSet arms panic injection: jobs whose spec seed equals
+	// chaosPanicSeed panic inside a replica (see ChaosPanicSeed).
+	chaosPanicSet  bool
+	chaosPanicSeed uint64
 
 	// started counts jobs that actually executed (entered RunSweep) —
 	// cache hits never increment it, which is what lets tests and the
@@ -724,6 +858,46 @@ func MaxAttempts(n int) ManagerOption {
 			m.maxAttempts = n
 		}
 	}
+}
+
+// MaxJobDuration caps every job's wall-clock run time: past it the job
+// lands in StateDeadlineExceeded. A request's own MaxDuration may only
+// tighten the cap. d <= 0 (the default) leaves run time unbounded.
+func MaxJobDuration(d time.Duration) ManagerOption {
+	return func(m *Manager) { m.maxJobDuration = d }
+}
+
+// MaxCells rejects submissions at admission time when any variant's
+// lattice exceeds n cells (l0 × l1) — a permanent validation error,
+// not load shedding. n <= 0 (the default) uncaps.
+func MaxCells(n int64) ManagerOption {
+	return func(m *Manager) { m.maxCells = n }
+}
+
+// MaxReplicas rejects submissions whose total replica count (specs ×
+// replicas) exceeds n. n <= 0 (the default) uncaps.
+func MaxReplicas(n int) ManagerOption {
+	return func(m *Manager) { m.maxReplicas = n }
+}
+
+// MaxActiveCost bounds the summed cost estimate (lattice cells ×
+// concurrent replicas + species × grid points, per variant) of every
+// admitted job that has not yet reached a terminal state. Submissions
+// past the budget shed with ErrOverloaded — transient, retryable —
+// instead of being admitted into an over-committed pool. n <= 0 (the
+// default) leaves the aggregate unbounded.
+func MaxActiveCost(n int64) ManagerOption {
+	return func(m *Manager) { m.maxActiveCost = n }
+}
+
+// ChaosPanicSeed arms fault injection for chaos drills: any job with a
+// spec whose seed equals seed panics inside replica 0 at its first
+// sampled grid point past t=0. The panic exercises the genuine
+// containment path — recovered in the ensemble worker into a
+// stack-carrying error, failing only that job while the process keeps
+// serving. Off by default; never enable outside tests and drills.
+func ChaosPanicSeed(seed uint64) ManagerOption {
+	return func(m *Manager) { m.chaosPanicSet, m.chaosPanicSeed = true, seed }
 }
 
 // WithExecutor routes every job through ex instead of the local sweep
@@ -827,30 +1001,38 @@ func (m *Manager) recover(rec *store.JobRecord) (j *Job, active bool) {
 		if rec.Attempts >= m.maxAttempts {
 			return quarantine(fmt.Errorf("run was interrupted %d times; quarantined as a poison job", rec.Attempts)), false
 		}
-	case StateDone, StateFailed, StateCancelled, StateQuarantined:
+	case StateDone, StateFailed, StateCancelled, StateQuarantined, StateDeadlineExceeded:
 		return m.rebuild(rec, req, grid.Len()), false
 	default:
 		return quarantine(fmt.Errorf("record %s has unknown state %q", rec.ID, rec.State)), false
 	}
 	j = m.rebuild(rec, req, grid.Len())
 	if j.attempts > 0 {
-		j.notBefore = time.Now().Add(backoff(j.attempts))
+		j.notBefore = time.Now().Add(crashDelay(j.attempts))
 	}
+	// A re-queued job re-joins the admission budget: it will run again
+	// and hold the same resources as a fresh submission.
+	j.cost = estimateCost(req, grid.Len())
+	j.costCharged.Store(true)
+	m.activeCost.Add(j.cost)
 	// Re-persist as queued (with the attempt charge) so the stored
 	// state matches the re-queue.
 	j.persist(StateQueued, nil)
 	return j, true
 }
 
-// backoff is the restart delay after the nth crash interruption.
-func backoff(n int) time.Duration {
+// crashRestartBackoff is the restart-delay schedule of crash-recovered
+// jobs: the shared truncated-exponential policy, unjittered — recovery
+// tests pin the exact delays, and a single process re-queueing its own
+// jobs has nothing to decorrelate.
+var crashRestartBackoff = backoff.Policy{Base: time.Second, Max: 30 * time.Second}
+
+// crashDelay is the restart delay after the nth crash interruption.
+func crashDelay(n int) time.Duration {
 	if n < 1 {
 		return 0
 	}
-	if d := time.Second << (n - 1); d < 30*time.Second {
-		return d
-	}
-	return 30 * time.Second
+	return crashRestartBackoff.Delay(n - 1)
 }
 
 // rebuildStub builds a quarantined placeholder for a record whose
@@ -902,6 +1084,10 @@ func (m *Manager) rebuild(rec *store.JobRecord, req Request, gridLen int) *Job {
 		state:     StateQueued,
 		done:      make(chan struct{}),
 	}
+	// Keep the stored absolute deadline: a recovered running job gets
+	// only the budget it has left, and a past deadline fails it on its
+	// first step instead of granting a fresh allowance.
+	j.deadlineNS.Store(rec.Deadline)
 	state := State(rec.State)
 	if state.Terminal() {
 		j.state = state
@@ -955,6 +1141,82 @@ func newManager(runners, backlog int, st store.Store, opts ...ManagerOption) *Ma
 // cache-hit test.
 func (m *Manager) RunsStarted() int64 { return m.started.Load() }
 
+// ActiveCost returns the aggregate admission-cost estimate currently
+// committed to admitted, not-yet-terminal jobs.
+func (m *Manager) ActiveCost() int64 { return m.activeCost.Load() }
+
+// estimateCost scores a request's resource appetite for admission
+// control: per variant, lattice cells × the replicas that can be
+// resident at once (bounded by the worker pool) — the live engine
+// state — plus species × grid points for the merged series. A proxy,
+// not a measurement; its job is only to rank a 4096²×64-replica sweep
+// far above a 64² single run so the aggregate budget means something.
+func estimateCost(req Request, gridLen int) int64 {
+	conc := req.Workers
+	if req.Replicas < conc {
+		conc = req.Replicas
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	var total int64
+	for _, sp := range req.Specs {
+		l0, l1 := sp.Extents()
+		total += int64(l0)*int64(l1)*int64(conc) + int64(sp.NumSpecies())*int64(gridLen)
+	}
+	return total
+}
+
+// admit enforces the per-job admission caps. A request over -max-cells
+// or -max-replicas can never run on this server whatever the load, so
+// breaching one is a plain validation error (HTTP 400) — retrying it
+// unchanged is pointless — unlike the transient ErrOverloaded paths.
+func (m *Manager) admit(req Request) error {
+	if m.maxReplicas > 0 {
+		if total := len(req.Specs) * req.Replicas; total > m.maxReplicas {
+			return fmt.Errorf("job: %d total replicas (%d specs × %d) exceeds the server cap of %d",
+				total, len(req.Specs), req.Replicas, m.maxReplicas)
+		}
+	}
+	if m.maxCells > 0 {
+		for i, sp := range req.Specs {
+			l0, l1 := sp.Extents()
+			if cells := int64(l0) * int64(l1); cells > m.maxCells {
+				return fmt.Errorf("job: spec %d lattice %d×%d (%d cells) exceeds the server cap of %d cells",
+					i, l0, l1, cells, m.maxCells)
+			}
+		}
+	}
+	return nil
+}
+
+// chaosObserver returns the fault-injecting replica observer for jobs
+// matching the armed ChaosPanicSeed, nil (the default) for everything
+// else. The returned observer panics on replica 0's first sampled grid
+// point past t=0 — inside the ensemble worker goroutine, exactly where
+// a real engine bug would fire.
+func (m *Manager) chaosObserver(j *Job) parsurf.ReplicaObserver {
+	if !m.chaosPanicSet {
+		return nil
+	}
+	armed := false
+	for _, sp := range j.req.Specs {
+		if sp.Seed() == m.chaosPanicSeed {
+			armed = true
+			break
+		}
+	}
+	if !armed {
+		return nil
+	}
+	seed := m.chaosPanicSeed
+	return func(variant, replica int, t float64, sess *parsurf.Session) {
+		if replica == 0 && t > 0 {
+			panic(fmt.Sprintf("chaos: injected replica panic (seed %d)", seed))
+		}
+	}
+}
+
 // Submit validates and enqueues a job, returning it immediately. It
 // fails when the request is malformed, the manager is shut down, or
 // the backlog is full. On a durable manager the job record is
@@ -983,12 +1245,18 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	if req.Workers < 0 {
 		return nil, fmt.Errorf("job: negative worker count %d", req.Workers)
 	}
+	if req.MaxDuration < 0 {
+		return nil, fmt.Errorf("job: negative max duration %s", req.MaxDuration)
+	}
 	// Validate the grid up front so a degenerate schedule is a Submit
 	// error, not a failed job; the grid length also sizes the progress
 	// denominator.
 	grid, err := parsurf.NewTimeGrid(req.Until, req.Every)
 	if err != nil {
 		return nil, fmt.Errorf("job: %w", err)
+	}
+	if err := m.admit(req); err != nil {
+		return nil, err
 	}
 
 	var (
@@ -1058,13 +1326,28 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		m.jobs[id] = j
 		return j, nil
 	}
+	// Transient capacity checks, now that the request is known valid
+	// and uncached: both shed with ErrOverloaded so the HTTP layer can
+	// answer 429 + Retry-After instead of a terminal-looking 400.
+	j.cost = estimateCost(req, grid.Len())
+	if m.maxActiveCost > 0 && m.activeCost.Load()+j.cost > m.maxActiveCost {
+		cancel()
+		m.nextID--
+		return nil, fmt.Errorf("job: active-cost budget exhausted (%d committed of %d, job needs %d); %w",
+			m.activeCost.Load(), m.maxActiveCost, j.cost, ErrOverloaded)
+	}
 	select {
 	case m.queue <- j:
 	default:
 		cancel()
 		m.nextID--
-		return nil, fmt.Errorf("job: backlog full (%d queued)", cap(m.queue))
+		return nil, fmt.Errorf("job: backlog full (%d queued); %w", cap(m.queue), ErrOverloaded)
 	}
+	// Charge the admission budget only after the enqueue sticks; every
+	// terminal transition — including the persist-failure cancellation
+	// just below — releases it exactly once via setState.
+	j.costCharged.Store(true)
+	m.activeCost.Add(j.cost)
 	// Persist before acknowledgment: a submission the client saw
 	// accepted must survive a restart. The job is already enqueued; if
 	// the record cannot be written, cancel it (the runner drains it as
@@ -1093,6 +1376,7 @@ func (m *Manager) putJobRecord(j *Job, s State, jobErr error) error {
 		State:     string(s),
 		Cached:    j.cached,
 		Submitted: j.submitted.UnixNano(),
+		Deadline:  j.deadlineNS.Load(),
 		Request:   j.rawReq,
 	}
 	if jobErr != nil {

@@ -1,6 +1,7 @@
 package job
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -299,6 +300,9 @@ func TestBacklogFullRejection(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "backlog full") {
 		t.Fatalf("rejection says %q, want a backlog-full error", err)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("backlog-full rejection %q does not wrap ErrOverloaded", err)
 	}
 }
 

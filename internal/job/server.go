@@ -3,15 +3,24 @@ package job
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"parsurf"
 	"parsurf/internal/store"
 )
+
+// maxSubmitBody bounds the POST /jobs body. Submissions are spec JSON
+// — kilobytes, not megabytes — so 4 MiB is generous headroom while
+// still refusing to buffer an adversarial body into memory.
+const maxSubmitBody = 4 << 20
 
 // Server is the HTTP face of a Manager: submit a spec as JSON, poll
 // status, stream progress, fetch results, cancel. It implements
@@ -54,6 +63,12 @@ type SubmitRequest struct {
 	Until    float64                `json:"until"`
 	Every    float64                `json:"every"`
 	NoCache  bool                   `json:"nocache,omitempty"`
+	// MaxDuration is the job's wall-clock run budget in Go duration
+	// syntax ("90s", "15m"); past it the job ends in the
+	// deadline_exceeded state. Empty defers to the server's
+	// -max-job-duration default; a server default also caps any value
+	// given here.
+	MaxDuration string `json:"max_duration,omitempty"`
 }
 
 // VariantResult is one variant's merged series in a ResultResponse —
@@ -104,9 +119,46 @@ func NewServer(mgr *Manager) *Server {
 // SetVersion sets the stamp GET /version reports (default "dev").
 func (s *Server) SetVersion(v string) { s.version = v }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request runs under the
+// panic-recovery middleware: job panics are already contained in the
+// ensemble workers, so this is the last line for handler bugs.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	Recoverer(s.mux).ServeHTTP(w, r)
+}
+
+// reqID numbers recovered-panic responses so a client-reported 500 can
+// be matched to the server-side stack in the log.
+var reqID atomic.Uint64
+
+// Recoverer is the HTTP panic-containment middleware: a panicking
+// handler yields a 500 JSON body carrying a request id (also echoed in
+// X-Request-Id) instead of tearing down the connection with a blank
+// response, and the panic with its id and stack goes to stderr so the
+// client-reported id finds the server-side trace. http.ErrAbortHandler
+// re-panics untouched — it is net/http's sanctioned way to abort a
+// response, not a bug.
+func Recoverer(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if err, ok := v.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(v)
+			}
+			id := fmt.Sprintf("req-%d", reqID.Add(1))
+			fmt.Fprintf(os.Stderr, "surfd: %s: panic serving %s %s: %v\n%s",
+				id, r.Method, r.URL.Path, v, debug.Stack())
+			// Best-effort 500: if the handler already wrote its status,
+			// nothing better than an appended body is possible
+			// mid-response.
+			w.Header().Set("X-Request-Id", id)
+			httpError(w, http.StatusInternalServerError,
+				fmt.Errorf("internal error (request %s)", id))
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // httpError writes a JSON error body.
@@ -124,10 +176,16 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBody))
 	dec.DisallowUnknownFields()
 	var req SubmitRequest
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -144,15 +202,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf(`body needs a "spec" (or "specs") section`))
 		return
 	}
+	var maxDur time.Duration
+	if req.MaxDuration != "" {
+		d, err := time.ParseDuration(req.MaxDuration)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("max_duration: %w", err))
+			return
+		}
+		maxDur = d
+	}
 	j, err := s.mgr.Submit(Request{
-		Specs:    specs,
-		Replicas: req.Replicas,
-		Workers:  req.Workers,
-		Until:    req.Until,
-		Every:    req.Every,
-		NoCache:  req.NoCache,
+		Specs:       specs,
+		Replicas:    req.Replicas,
+		Workers:     req.Workers,
+		Until:       req.Until,
+		Every:       req.Every,
+		NoCache:     req.NoCache,
+		MaxDuration: maxDur,
 	})
 	if err != nil {
+		// Transient capacity exhaustion is load shedding, not a client
+		// mistake: 429 with a retry hint. Everything else Submit
+		// rejects is permanently malformed for this server — 400.
+		if errors.Is(err, ErrOverloaded) {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err)
+			return
+		}
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -184,7 +260,8 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 	state := State(q.Get("state"))
 	switch state {
-	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StateQuarantined:
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCancelled,
+		StateQuarantined, StateDeadlineExceeded:
 	default:
 		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown state %q", state))
 		return
@@ -285,6 +362,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// arm bounds the next write. Not every ResponseWriter supports
 	// deadlines (httptest recorders don't); those stream without one.
 	rc := http.NewResponseController(w)
+	// An SSE stream outlives any server-level ReadTimeout; clear the
+	// connection's read deadline so the background close-detection read
+	// cannot expire it and kill a healthy stream mid-job. Writes stay
+	// bounded by the per-write deadline below.
+	rc.SetReadDeadline(time.Time{})
 	arm := func() {
 		if s.writeTimeout > 0 {
 			rc.SetWriteDeadline(time.Now().Add(s.writeTimeout))

@@ -46,6 +46,12 @@ type JobRecord struct {
 	Attempts int `json:"attempts,omitempty"`
 	// Submitted is the submission wall-clock time in Unix nanoseconds.
 	Submitted int64 `json:"submitted"`
+	// Deadline is the absolute wall-clock deadline (Unix nanoseconds) a
+	// running job's sweep must finish by, set when the job first starts
+	// and zero for jobs without a duration budget. Recovery keeps the
+	// absolute time, so a crash-restarted job honors only its remaining
+	// budget instead of getting a fresh one.
+	Deadline int64 `json:"deadline,omitempty"`
 	// Request is the serialized request (specs plus run shape), exactly
 	// what recovery re-queues.
 	Request json.RawMessage `json:"request,omitempty"`
